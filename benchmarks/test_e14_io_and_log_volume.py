@@ -1,0 +1,125 @@
+"""E14 — §1's remaining efficiency measures: log volume, synchronous
+I/Os, and pages accessed during *normal* operations.
+
+"Our measures of efficiency are the number of locks acquired [E7], the
+number of pages accessed during redo, undo [E9], and normal operations,
+the number of passes of the log made during media recovery [E12], and
+the number of required synchronous data base page and log I/Os."
+
+This table covers the remaining three, per operation type, warm-cache:
+
+Expected shape: fetches write no log and force nothing; an insert/
+delete logs a handful of records with *zero* synchronous I/O (no-force);
+commit costs exactly one synchronous log force and zero data-page
+writes (steal/no-force); pages visited per operation ≈ tree height.
+"""
+
+from repro.common.config import DatabaseConfig
+from repro.db import Database
+from repro.harness.report import format_table
+
+from _common import write_result
+
+OPS = 50
+
+
+def make_db():
+    db = Database(DatabaseConfig(page_size=1024, buffer_pool_pages=512))
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    txn = db.begin()
+    for key in range(0, 2_000, 2):
+        db.insert(txn, "t", {"id": key, "val": "x" * 12})
+    db.commit(txn)
+    db.flush_all_pages()  # warm start, clean disk
+    return db
+
+
+def measure(db, label, fn) -> dict:
+    before = db.stats.snapshot()
+    fn()
+    delta = db.stats.diff(before)
+    return {
+        "operation": label,
+        "log_records": delta.get("log.records_written", 0) / OPS,
+        "sync_log_forces": delta.get("log.sync_forces", 0) / OPS,
+        "data_page_writes": delta.get("buffer.pages_written", 0) / OPS,
+        "index_pages_visited": delta.get("btree.pages_visited", 0) / OPS,
+    }
+
+
+def run() -> list[dict]:
+    db = make_db()
+    rows = []
+
+    def fetches():
+        txn = db.begin()
+        for key in range(0, 2 * OPS, 2):
+            db.fetch(txn, "t", "by_id", key)
+        db.commit(txn)
+
+    rows.append(measure(db, "fetch (in one txn)", fetches))
+
+    def inserts():
+        txn = db.begin()
+        for key in range(1, 2 * OPS, 2):
+            db.insert(txn, "t", {"id": key, "val": "w" * 12})
+        db.commit(txn)
+
+    rows.append(measure(db, "insert (in one txn)", inserts))
+
+    def deletes():
+        txn = db.begin()
+        for key in range(1, 2 * OPS, 2):
+            db.delete_by_key(txn, "t", "by_id", key)
+        db.commit(txn)
+
+    rows.append(measure(db, "delete (in one txn)", deletes))
+
+    def single_commits():
+        for key in range(3_001, 3_001 + 2 * OPS, 2):
+            txn = db.begin()
+            db.insert(txn, "t", {"id": key, "val": "c"})
+            db.commit(txn)
+
+    rows.append(measure(db, "insert+commit (txn each)", single_commits))
+    return rows
+
+
+def test_e14_io_and_log_volume(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "operation",
+            "log records/op",
+            "sync log forces/op",
+            "data page writes/op",
+            "index pages visited/op",
+        ],
+        [
+            (
+                r["operation"],
+                round(r["log_records"], 2),
+                round(r["sync_log_forces"], 3),
+                round(r["data_page_writes"], 2),
+                round(r["index_pages_visited"], 2),
+            )
+            for r in rows
+        ],
+        title="E14 — log volume, synchronous I/Os, pages per normal operation",
+    )
+    write_result("e14_io_and_log_volume", table)
+
+    fetch, insert, delete, committed = rows
+    # Reads log nothing themselves — only the enclosing transaction's
+    # commit/end pair appears (2 records and 1 force over OPS reads).
+    assert fetch["log_records"] <= 2 / OPS + 1e-9
+    assert fetch["sync_log_forces"] <= 1 / OPS + 1e-9
+    assert insert["data_page_writes"] == 0, "no-force: commits never flush data"
+    assert delete["data_page_writes"] == 0
+    # One synchronous log force per commit, amortized to ~0 for the
+    # batched transactions and exactly 1/op for txn-per-op.
+    assert committed["sync_log_forces"] == 1.0
+    assert insert["sync_log_forces"] <= 1 / OPS + 1e-9
+    # Pages visited per operation stays around the (small) tree height.
+    assert fetch["index_pages_visited"] <= 4

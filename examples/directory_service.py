@@ -1,0 +1,78 @@
+"""A directory service: prefix lookups, isolation levels, DDL.
+
+Shows the paper-adjacent API surface beyond plain point operations:
+
+- partial-key (prefix) Fetch and prefix scans (§1.1's "partial key
+  value" form of Fetch);
+- repeatable read vs. cursor stability, and what each costs in locks;
+- online index creation with backfill, and index drop.
+
+Run:  python examples/directory_service.py
+"""
+
+from repro import Database
+
+PEOPLE = [
+    ("mohan.c", "Almaden", "research"),
+    ("levine.frank", "Austin", "databases"),
+    ("lindsay.bruce", "Almaden", "research"),
+    ("gray.jim", "Berkeley", "research"),
+    ("haderle.don", "Santa Teresa", "db2"),
+    ("mohan.k", "Delhi", "sales"),
+    ("moss.eliot", "Amherst", "academia"),
+]
+
+
+def main() -> None:
+    db = Database()
+    db.create_table("people")
+    db.create_index("people", "by_login", column="login", unique=True)
+
+    txn = db.begin()
+    for login, site, group in PEOPLE:
+        db.insert(txn, "people", {"login": login, "site": site, "group": group})
+    db.commit(txn)
+
+    # --- prefix fetch / scan ------------------------------------------------
+    txn = db.begin()
+    first = db.fetch_prefix(txn, "people", "by_login", "mohan")
+    print("first 'mohan*':", first["login"])
+    all_mohans = [r["login"] for _, r in db.scan_prefix(txn, "people", "by_login", "mohan")]
+    print("all 'mohan*':", all_mohans)
+    misses = db.fetch_prefix(txn, "people", "by_login", "zz")
+    print("'zz*' miss:", misses)
+    db.commit(txn)
+
+    # --- isolation levels ----------------------------------------------------
+    txn = db.begin()
+    before = db.locks.lock_count(txn.txn_id)
+    db.fetch(txn, "people", "by_login", "gray.jim", isolation="cs")
+    cs_locks = db.locks.lock_count(txn.txn_id) - before
+    db.fetch(txn, "people", "by_login", "gray.jim", isolation="rr")
+    rr_locks = db.locks.lock_count(txn.txn_id) - before - cs_locks
+    print(f"locks retained: cursor stability={cs_locks}, repeatable read={rr_locks}")
+    db.commit(txn)
+
+    # --- online index creation with backfill ----------------------------------
+    db.create_index("people", "by_site", column="site", unique=False)
+    txn = db.begin()
+    almaden = [r["login"] for _, r in db.scan(txn, "people", "by_site", low="Almaden", high="Almaden")]
+    print("at Almaden:", sorted(almaden))
+    db.commit(txn)
+
+    # --- drop it again (pages freed, drop is durable) --------------------------
+    db.drop_index("people", "by_site")
+    db.crash()
+    db.restart()
+    txn = db.begin()
+    assert db.fetch(txn, "people", "by_login", "mohan.c") is not None
+    assert "by_site" not in db.tables["people"].indexes
+    print("after crash+restart: by_login intact, by_site stays dropped")
+    db.commit(txn)
+
+    assert db.verify_indexes() == {}
+    print("index structure verified OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: tables, indexes, transactions, crash recovery.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, UniqueKeyViolationError
+
+
+def main() -> None:
+    db = Database()
+    db.create_table("books")
+    db.create_index("books", "by_isbn", column="isbn", unique=True)
+    db.create_index("books", "by_author", column="author", unique=False)
+
+    # --- transactional inserts -------------------------------------------
+    txn = db.begin()
+    db.insert(txn, "books", {"isbn": 1558601538, "author": "gray", "title": "Transaction Processing"})
+    db.insert(txn, "books", {"isbn": 1997, "author": "mohan", "title": "ARIES family"})
+    db.insert(txn, "books", {"isbn": 1992, "author": "mohan", "title": "ARIES/IM"})
+    db.commit(txn)
+
+    # --- point lookups through the unique index ---------------------------
+    txn = db.begin()
+    row = db.fetch(txn, "books", "by_isbn", 1992)
+    print("fetched:", row["title"])
+
+    # --- range scans through the nonunique index --------------------------
+    mohan_books = [r["title"] for _, r in db.scan(txn, "books", "by_author", low="mohan", high="mohan")]
+    print("by mohan:", sorted(mohan_books))
+    db.commit(txn)
+
+    # --- uniqueness is enforced (and the error is repeatable) -------------
+    txn = db.begin()
+    try:
+        db.insert(txn, "books", {"isbn": 1992, "author": "someone", "title": "duplicate"})
+    except UniqueKeyViolationError:
+        print("duplicate isbn rejected, rolling back")
+    db.rollback(txn)
+
+    # --- rollback really undoes (including index changes) -----------------
+    txn = db.begin()
+    db.insert(txn, "books", {"isbn": 2024, "author": "temp", "title": "never happened"})
+    db.rollback(txn)
+
+    # --- crash and recover -------------------------------------------------
+    txn = db.begin()
+    db.insert(txn, "books", {"isbn": 2026, "author": "levine", "title": "durable"})
+    db.commit(txn)  # commit forces the log; data pages stay dirty
+
+    db.crash()  # buffer pool, lock table, unforced log tail: gone
+    report = db.restart()  # ARIES: analysis, redo (repeat history), undo
+    print(
+        f"restart: {report.redo.records_redone} records redone, "
+        f"{report.undo.transactions_rolled_back} losers rolled back"
+    )
+
+    txn = db.begin()
+    assert db.fetch(txn, "books", "by_isbn", 2026) is not None  # committed: survived
+    assert db.fetch(txn, "books", "by_isbn", 2024) is None  # rolled back: gone
+    print("post-crash state is exactly the committed state")
+    db.commit(txn)
+
+    assert db.verify_indexes() == {}
+    print("index structure verified OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""ARIES/IM reproduction.
+
+A from-scratch Python implementation of
+
+    C. Mohan, Frank Levine.  ARIES/IM: An Efficient and High Concurrency
+    Index Management Method Using Write-Ahead Logging.  SIGMOD 1992.
+
+including the full transactional storage stack the paper presumes
+(write-ahead logging, ARIES restart/media recovery, lock and latch
+managers, a buffer pool with steal/no-force, a heap record manager),
+the ARIES/IM B+-tree itself, and the locking baselines the paper
+compares against (ARIES/KVL, System R-style).
+
+Start at :class:`repro.Database`; see README.md and DESIGN.md.
+"""
+
+from repro.common.config import DEFAULT_CONFIG, DatabaseConfig
+from repro.common.errors import (
+    DeadlockError,
+    KeyNotFoundError,
+    ReproError,
+    SimulatedCrash,
+    UniqueKeyViolationError,
+)
+from repro.common.rid import RID, IndexKey
+from repro.db import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Database",
+    "DatabaseConfig",
+    "DeadlockError",
+    "IndexKey",
+    "KeyNotFoundError",
+    "RID",
+    "ReproError",
+    "SimulatedCrash",
+    "UniqueKeyViolationError",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Baseline locking protocols the paper compares ARIES/IM against.
+
+The protocols themselves live in :mod:`repro.btree.protocol` (they plug
+into the same index manager); this package re-exports them and provides
+the convenience constructors the experiments use.
+"""
+
+from repro.btree.protocol import (
+    DataOnlyLocking,
+    IndexSpecificLocking,
+    KeyValueLocking,
+    SystemRStyleLocking,
+    make_protocol,
+)
+
+#: Protocols compared in E7/E8, in presentation order.
+COMPARED_PROTOCOLS = [
+    DataOnlyLocking.name,
+    IndexSpecificLocking.name,
+    KeyValueLocking.name,
+    SystemRStyleLocking.name,
+]
+
+__all__ = [
+    "COMPARED_PROTOCOLS",
+    "DataOnlyLocking",
+    "IndexSpecificLocking",
+    "KeyValueLocking",
+    "SystemRStyleLocking",
+    "make_protocol",
+]

@@ -1,0 +1,77 @@
+"""Configuration for a :class:`repro.db.Database` instance.
+
+All tunables live in one frozen dataclass so experiments can state their
+parameters declaratively and so ablation benchmarks can flip a single
+switch (``enable_sm_bit``, ``enable_delete_bit``, ``tree_latch_mode``)
+to demonstrate why each ARIES/IM mechanism exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from repro.common.errors import ConfigError
+
+LockGranularity = Literal["record", "page"]
+IndexLockingProtocol = Literal["data_only", "index_specific"]
+TreeLatchMode = Literal["latch", "lock"]
+
+
+@dataclass(frozen=True)
+class DatabaseConfig:
+    """Tunables for one database instance.
+
+    Parameters mirror the design choices called out in the paper:
+
+    - ``index_locking``: ``"data_only"`` is ARIES/IM's headline protocol
+      (the key lock *is* the record lock); ``"index_specific"`` is the
+      variant mentioned in §2.1 that explicitly locks keys in the index
+      for slightly more concurrency at extra locking cost.
+    - ``lock_granularity``: the granularity associated with the table
+      (§2.1: "at the locking granularity (page, record, ...) associated
+      with the table/file").
+    - ``tree_latch_mode``: ``"latch"`` serializes SMOs with an X tree
+      latch (§2.1); ``"lock"`` implements the §5 extension where SMOs
+      take the tree lock in IX and upgrade to X only for nonleaf SMOs.
+    - ``enable_sm_bit`` / ``enable_delete_bit`` /
+      ``enable_boundary_delete_posc``: recovery safeguards from §3;
+      disabled only by ablation experiments.
+    """
+
+    page_size: int = 4096
+    buffer_pool_pages: int = 256
+    lock_granularity: LockGranularity = "record"
+    index_locking: IndexLockingProtocol = "data_only"
+    tree_latch_mode: TreeLatchMode = "latch"
+    enable_sm_bit: bool = True
+    enable_delete_bit: bool = True
+    enable_boundary_delete_posc: bool = True
+    reset_sm_bits_after_smo: bool = True
+    lock_timeout_seconds: float = 10.0
+    latch_timeout_seconds: float = 10.0
+    deadlock_detection: bool = True
+    checkpoint_interval_records: int = 0
+    """Write a fuzzy checkpoint every N log records (0 disables)."""
+
+    stats_enabled: bool = True
+    debug_latch_checks: bool = True
+    """Assert the paper's invariant that no more than two index-page
+    latches are held simultaneously by one transaction."""
+
+    def __post_init__(self) -> None:
+        if self.page_size < 512:
+            raise ConfigError(f"page_size {self.page_size} is too small (< 512)")
+        if self.buffer_pool_pages < 4:
+            raise ConfigError("buffer_pool_pages must be at least 4")
+        if self.lock_timeout_seconds <= 0 or self.latch_timeout_seconds <= 0:
+            raise ConfigError("timeouts must be positive")
+        if self.checkpoint_interval_records < 0:
+            raise ConfigError("checkpoint_interval_records must be >= 0")
+
+    def with_overrides(self, **kwargs: object) -> "DatabaseConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+DEFAULT_CONFIG = DatabaseConfig()

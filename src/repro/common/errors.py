@@ -1,0 +1,126 @@
+"""Exception hierarchy for the ARIES/IM reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+Transaction-visible conditions (deadlock, uniqueness violation, simulated
+crash) each get a dedicated class because callers dispatch on them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id does not exist on the simulated disk."""
+
+
+class PageOverflowError(StorageError):
+    """A page cannot hold the requested payload."""
+
+
+class BufferPoolFullError(StorageError):
+    """No frame could be evicted to make room for a page fix."""
+
+
+class CorruptPageError(StorageError):
+    """A page read from disk failed its integrity check (media damage)."""
+
+
+class WALError(ReproError):
+    """Base class for log-manager failures."""
+
+
+class LSNOutOfRangeError(WALError):
+    """A requested LSN is beyond the durable end of the log."""
+
+
+class LockError(ReproError):
+    """Base class for lock-manager failures."""
+
+
+class DeadlockError(LockError):
+    """The deadlock detector chose this transaction as the victim.
+
+    The transaction must be rolled back by the caller.
+    """
+
+    def __init__(self, txn_id: int, cycle: tuple[int, ...]) -> None:
+        self.txn_id = txn_id
+        self.cycle = cycle
+        super().__init__(f"transaction {txn_id} deadlocked (cycle: {cycle})")
+
+
+class LockNotGrantedError(LockError):
+    """A conditional lock or latch request could not be granted immediately."""
+
+
+class LockTimeoutError(LockError):
+    """An unconditional lock request waited longer than the configured bound."""
+
+
+class LatchError(ReproError):
+    """Latch protocol violation (double release, wrong owner, ...)."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-state violations."""
+
+
+class TransactionAbortedError(TransactionError):
+    """An operation was attempted on an aborted transaction."""
+
+
+class TransactionNotActiveError(TransactionError):
+    """An operation was attempted on a committed/ended transaction."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-manager failures (named to avoid the builtin)."""
+
+
+class UniqueKeyViolationError(IndexError_):
+    """An insert would create a duplicate key value in a unique index."""
+
+    def __init__(self, key_value: bytes) -> None:
+        self.key_value = key_value
+        super().__init__(f"duplicate key value {key_value!r} in unique index")
+
+
+class KeyNotFoundError(IndexError_):
+    """A delete named a key that is not present in the index."""
+
+
+class TreeInconsistentError(IndexError_):
+    """A traversal hit a structurally inconsistent tree.
+
+    With the paper's safeguards enabled this is unreachable; the ablation
+    benchmarks (E6) disable safeguards to show it surfacing.
+    """
+
+
+class RecoveryError(ReproError):
+    """Restart or media recovery failed."""
+
+
+class SimulatedCrash(ReproError):  # noqa: N818 - reads as an event
+    """Raised by an armed failpoint to simulate a system failure.
+
+    Deliberately not a subclass of anything the library's internal retry
+    logic would swallow: it propagates to the test harness, which then
+    calls ``Database.crash()``.
+    """
+
+    def __init__(self, failpoint: str) -> None:
+        self.failpoint = failpoint
+        super().__init__(f"simulated crash at failpoint {failpoint!r}")

@@ -1,0 +1,72 @@
+"""Order-preserving codecs between user key types and ``bytes``.
+
+The index stores key values as raw ``bytes`` and compares them
+lexicographically.  These codecs map common Python types onto byte
+strings whose lexicographic order matches the natural order of the
+original values, so a single B+-tree implementation serves int, str,
+and bytes keys.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import ConfigError
+
+_INT_STRUCT = struct.Struct(">Q")
+_INT_BIAS = 1 << 63
+_INT_MIN = -_INT_BIAS
+_INT_MAX = _INT_BIAS - 1
+
+UserKey = int | str | bytes
+
+
+def encode_key(key: UserKey) -> bytes:
+    """Encode a user key into order-preserving bytes.
+
+    Integers are biased into unsigned 64-bit space so that negative
+    values sort before positive ones.  Strings are UTF-8 encoded (which
+    preserves code-point order).  Bytes pass through unchanged.
+
+    Mixing key types within one index is not meaningful and is the
+    caller's responsibility to avoid (the encodings of different types
+    are not mutually ordered).
+    """
+    if isinstance(key, bool):  # bool is an int subclass; reject explicitly
+        raise ConfigError("bool is not a supported key type")
+    if isinstance(key, int):
+        if not _INT_MIN <= key <= _INT_MAX:
+            raise ConfigError(f"integer key {key} out of 64-bit range")
+        return _INT_STRUCT.pack(key + _INT_BIAS)
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, bytes):
+        return key
+    raise ConfigError(f"unsupported key type {type(key).__name__}")
+
+
+def decode_int_key(raw: bytes) -> int:
+    """Inverse of :func:`encode_key` for integer keys."""
+    (biased,) = _INT_STRUCT.unpack(raw)
+    return biased - _INT_BIAS
+
+
+def decode_str_key(raw: bytes) -> str:
+    """Inverse of :func:`encode_key` for string keys."""
+    return raw.decode("utf-8")
+
+
+def prefix_upper_bound(prefix: bytes) -> bytes | None:
+    """Smallest byte string greater than every string with ``prefix``.
+
+    Increment the last non-0xFF byte and truncate; None when the prefix
+    is all 0xFF bytes (no finite upper bound exists — scan to EOF).
+    Used by the partial-key (prefix) Fetch of §1.1.
+    """
+    out = bytearray(prefix)
+    while out:
+        if out[-1] != 0xFF:
+            out[-1] += 1
+            return bytes(out)
+        out.pop()
+    return None

@@ -1,0 +1,199 @@
+"""Counter registry and lock-audit trail.
+
+The paper's efficiency measures are *counts*: locks acquired, pages
+accessed during redo/undo/normal operation, log passes, synchronous
+I/Os (§1).  Every subsystem increments named counters on a shared
+:class:`StatsRegistry`; experiments snapshot and diff it.
+
+For Figure 2 (the locking-summary table) counts are not enough — we
+need *which* lock, in *which mode*, for *which duration*, on behalf of
+*which logical operation*.  The registry therefore also keeps an
+optional audit trail of lock and latch acquisitions, tagged with the
+operation label installed by the index manager (``"fetch"``,
+``"insert"``, ...).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class LockAuditEntry:
+    """One recorded lock acquisition."""
+
+    txn_id: int
+    name: object
+    mode: str
+    duration: str
+    operation: str
+    granted_immediately: bool
+
+
+@dataclass(frozen=True, slots=True)
+class LatchAuditEntry:
+    """One recorded latch acquisition."""
+
+    owner: int
+    name: object
+    mode: str
+    operation: str
+
+
+class StatsRegistry:
+    """Thread-safe named counters plus optional audit trails."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Counter[str] = Counter()
+        self._audit_locks = False
+        self._audit_latches = False
+        self._lock_audit: list[LockAuditEntry] = []
+        self._latch_audit: list[LatchAuditEntry] = []
+        self._operation = threading.local()
+
+    # -- counters ---------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all counters, for later diffing."""
+        with self._lock:
+            return dict(self._counters)
+
+    def diff(self, before: dict[str, int]) -> dict[str, int]:
+        """Counters changed since ``before`` (only nonzero deltas)."""
+        now = self.snapshot()
+        out: dict[str, int] = {}
+        for name, value in now.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._lock_audit.clear()
+            self._latch_audit.clear()
+
+    # -- operation labels -------------------------------------------------
+
+    def set_operation(self, label: str) -> None:
+        """Tag subsequent audit entries from this thread with ``label``."""
+        self._operation.label = label
+
+    def clear_operation(self) -> None:
+        self._operation.label = ""
+
+    @property
+    def operation(self) -> str:
+        return getattr(self._operation, "label", "")
+
+    # -- audit trails -----------------------------------------------------
+
+    def enable_lock_audit(self, latches: bool = False) -> None:
+        self._audit_locks = True
+        self._audit_latches = latches
+
+    def disable_lock_audit(self) -> None:
+        self._audit_locks = False
+        self._audit_latches = False
+
+    def record_lock(
+        self,
+        txn_id: int,
+        name: object,
+        mode: str,
+        duration: str,
+        granted_immediately: bool,
+    ) -> None:
+        if not self._audit_locks:
+            return
+        entry = LockAuditEntry(
+            txn_id=txn_id,
+            name=name,
+            mode=mode,
+            duration=duration,
+            operation=self.operation,
+            granted_immediately=granted_immediately,
+        )
+        with self._lock:
+            self._lock_audit.append(entry)
+
+    def record_latch(self, owner: int, name: object, mode: str) -> None:
+        if not self._audit_latches:
+            return
+        entry = LatchAuditEntry(
+            owner=owner, name=name, mode=mode, operation=self.operation
+        )
+        with self._lock:
+            self._latch_audit.append(entry)
+
+    def lock_audit(self) -> list[LockAuditEntry]:
+        with self._lock:
+            return list(self._lock_audit)
+
+    def latch_audit(self) -> list[LatchAuditEntry]:
+        with self._lock:
+            return list(self._latch_audit)
+
+    def clear_audit(self) -> None:
+        with self._lock:
+            self._lock_audit.clear()
+            self._latch_audit.clear()
+
+    # -- reporting --------------------------------------------------------
+
+    def iter_sorted(self) -> Iterator[tuple[str, int]]:
+        with self._lock:
+            items = sorted(self._counters.items())
+        yield from items
+
+    def format_table(self, prefix: str = "") -> str:
+        """Human-readable counter dump, optionally filtered by prefix."""
+        lines = [
+            f"{name:<48} {value:>12}"
+            for name, value in self.iter_sorted()
+            if name.startswith(prefix)
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class OperationProbe:
+    """Helper that captures the locks taken by one logical operation.
+
+    Used by the Figure-2 benchmark: wrap each index call in a probe and
+    read back the audited entries attributed to it.
+    """
+
+    stats: StatsRegistry
+    label: str
+    entries: list[LockAuditEntry] = field(default_factory=list)
+    _start: int = 0
+
+    def __enter__(self) -> "OperationProbe":
+        self.stats.enable_lock_audit()
+        self._start = len(self.stats.lock_audit())
+        self.stats.set_operation(self.label)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stats.clear_operation()
+        self.entries = [
+            e for e in self.stats.lock_audit()[self._start :] if e.operation == self.label
+        ]

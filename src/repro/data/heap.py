@@ -1,0 +1,341 @@
+"""Heap files: the data pages that records live in.
+
+The index stores (key value, RID) pairs; the records themselves live
+here, "stored elsewhere in data pages (i.e., outside of the index
+tree)" (§1.1).  Data-only locking (§2.1) makes the record lock taken
+here *the* lock protecting the corresponding index keys.
+
+Deletes are **ghosting** deletes: the record is marked invisible but
+its slot and bytes stay put.  This guarantees that the undo of a
+delete is always page-oriented (unghost in place) and that slots are
+never reused while a delete is uncommitted — the heap-side analogue of
+the care ARIES/IM takes with index-space reuse (Figure 11).  Space is
+reclaimed lazily when a page needs room and the ghost's deleter is no
+longer active; this reproduction never purges, which only wastes
+simulated space.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import KeyNotFoundError, PageOverflowError, StorageError
+from repro.common.rid import RID
+from repro.locks.modes import (
+    LockDuration,
+    LockMode,
+    data_page_lock_name,
+    record_lock_name,
+)
+from repro.storage.page import PAGE_OVERHEAD, Page
+from repro.wal.records import RM_HEAP, LogRecord, clr_record, update_record
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+    from repro.txn.transaction import Transaction
+
+_SLOT_OVERHEAD = 16
+
+
+class HeapPage(Page):
+    """Slotted data page.  Slots hold ``(bytes, visible)`` or None."""
+
+    KIND = "heap"
+
+    def __init__(self, page_id: int, table_id: int) -> None:
+        super().__init__(page_id)
+        self.table_id = table_id
+        self.slots: list[tuple[bytes, bool] | None] = []
+
+    # -- serialization ------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        encoded = []
+        for slot in self.slots:
+            if slot is None:
+                encoded.append(None)
+            else:
+                data, visible = slot
+                encoded.append([data, visible])
+        return {"table_id": self.table_id, "slots": encoded}
+
+    @classmethod
+    def from_payload(cls, page_id: int, payload: dict[str, Any]) -> "HeapPage":
+        page = cls(page_id, payload["table_id"])
+        for slot in payload["slots"]:
+            if slot is None:
+                page.slots.append(None)
+            else:
+                page.slots.append((slot[0], slot[1]))
+        return page
+
+    def used_size(self) -> int:
+        total = PAGE_OVERHEAD
+        for slot in self.slots:
+            total += _SLOT_OVERHEAD
+            if slot is not None:
+                total += len(slot[0])
+        return total
+
+    # -- record operations -----------------------------------------------------
+
+    def has_room_for(self, data: bytes, page_size: int) -> bool:
+        return self.used_size() + _SLOT_OVERHEAD + len(data) <= page_size
+
+    def append_record(self, data: bytes) -> int:
+        self.slots.append((data, True))
+        return len(self.slots) - 1
+
+    def place_record(self, slot: int, data: bytes, visible: bool = True) -> None:
+        """Install a record at an exact slot (redo path)."""
+        while len(self.slots) <= slot:
+            self.slots.append(None)
+        self.slots[slot] = (data, visible)
+
+    def record(self, slot: int) -> bytes:
+        entry = self._entry(slot)
+        data, visible = entry
+        if not visible:
+            raise KeyNotFoundError(f"record at slot {slot} is deleted")
+        return data
+
+    def set_ghost(self, slot: int, ghost: bool) -> bytes:
+        entry = self._entry(slot)
+        data, _ = entry
+        self.slots[slot] = (data, not ghost)
+        return data
+
+    def remove_record(self, slot: int) -> bytes:
+        entry = self._entry(slot)
+        self.slots[slot] = None
+        return entry[0]
+
+    def is_visible(self, slot: int) -> bool:
+        entry = self.slots[slot] if slot < len(self.slots) else None
+        return entry is not None and entry[1]
+
+    def _entry(self, slot: int) -> tuple[bytes, bool]:
+        if slot >= len(self.slots) or self.slots[slot] is None:
+            raise KeyNotFoundError(f"no record at slot {slot} of page {self.page_id}")
+        return self.slots[slot]  # type: ignore[return-value]
+
+    def visible_rids(self) -> list[RID]:
+        return [
+            RID(self.page_id, slot)
+            for slot, entry in enumerate(self.slots)
+            if entry is not None and entry[1]
+        ]
+
+
+class HeapFile:
+    """One table's collection of data pages."""
+
+    def __init__(self, ctx: "Database", table_id: int) -> None:
+        self._ctx = ctx
+        self.table_id = table_id
+        self.page_ids: list[int] = []
+
+    # -- locking helper -----------------------------------------------------------
+
+    def lock_name_for(self, rid: RID) -> tuple:
+        """The data-only lock name for a record, honouring the table's
+        locking granularity (§2.1: record locks, or the data page id
+        which is part of the record id for page granularity)."""
+        if self._ctx.config.lock_granularity == "page":
+            return data_page_lock_name(self.table_id, rid.page_id)
+        return record_lock_name(self.table_id, rid)
+
+    def _lock(self, txn: "Transaction", rid: RID, mode: LockMode) -> None:
+        if txn.in_rollback:
+            return
+        self._ctx.locks.request(
+            txn.txn_id, self.lock_name_for(rid), mode, LockDuration.COMMIT
+        )
+
+    # -- operations -------------------------------------------------------------------
+
+    def insert(self, txn: "Transaction", data: bytes) -> RID:
+        """Insert a record; X commit lock on its RID; log and apply."""
+        while True:
+            page = self._find_page_with_room(txn, data)
+            latch = self._ctx.latches.page_latch(page.page_id)
+            latch.acquire("X")
+            if page.has_room_for(data, self._ctx.config.page_size):
+                break
+            # Another thread consumed the space between fix and latch.
+            latch.release()
+            self._ctx.buffer.unfix(page.page_id)
+        try:
+            slot = page.append_record(data)
+            rid = RID(page.page_id, slot)
+            self._lock(txn, rid, LockMode.X)
+            record = update_record(
+                txn.txn_id,
+                RM_HEAP,
+                "insert",
+                page.page_id,
+                {"rid": rid, "data": data},
+            )
+            lsn = self._ctx.txns.log_for(txn, record)
+            page.page_lsn = lsn
+            self._ctx.buffer.mark_dirty(page.page_id, lsn)
+        finally:
+            latch.release()
+            self._ctx.buffer.unfix(page.page_id)
+        self._ctx.stats.incr("heap.inserts")
+        return rid
+
+    def delete(self, txn: "Transaction", rid: RID) -> bytes:
+        """Ghost a record; X commit lock on its RID; log and apply."""
+        self._lock(txn, rid, LockMode.X)
+        page = self._fix_heap_page(rid.page_id)
+        latch = self._ctx.latches.page_latch(page.page_id)
+        latch.acquire("X")
+        try:
+            data = page.set_ghost(rid.slot, ghost=True)
+            record = update_record(
+                txn.txn_id,
+                RM_HEAP,
+                "delete",
+                page.page_id,
+                {"rid": rid, "data": data},
+            )
+            lsn = self._ctx.txns.log_for(txn, record)
+            page.page_lsn = lsn
+            self._ctx.buffer.mark_dirty(page.page_id, lsn)
+        finally:
+            latch.release()
+            self._ctx.buffer.unfix(page.page_id)
+        self._ctx.stats.incr("heap.deletes")
+        return data
+
+    def fetch(self, txn: "Transaction", rid: RID, lock: bool = True) -> bytes:
+        """Read a record.
+
+        With data-only locking the index manager has already S-locked
+        the record on our behalf, so index-driven fetches pass
+        ``lock=False`` (§2.1: "the record manager does not have to lock
+        the corresponding record during the subsequent retrieval").
+        """
+        if lock:
+            self._lock(txn, rid, LockMode.S)
+        page = self._fix_heap_page(rid.page_id)
+        latch = self._ctx.latches.page_latch(page.page_id)
+        latch.acquire("S")
+        try:
+            return page.record(rid.slot)
+        finally:
+            latch.release()
+            self._ctx.buffer.unfix(page.page_id)
+
+    def scan_rids(self) -> list[RID]:
+        """All visible RIDs (no locking; used by utilities and tests)."""
+        out: list[RID] = []
+        for page_id in list(self.page_ids):
+            page = self._fix_heap_page(page_id)
+            try:
+                out.extend(page.visible_rids())
+            finally:
+                self._ctx.buffer.unfix(page_id)
+        return out
+
+    # -- page management ---------------------------------------------------------------
+
+    def _fix_heap_page(self, page_id: int) -> HeapPage:
+        page = self._ctx.buffer.fix(page_id)
+        if not isinstance(page, HeapPage):
+            self._ctx.buffer.unfix(page_id)
+            raise StorageError(f"page {page_id} is not a heap page")
+        return page
+
+    def _find_page_with_room(self, txn: "Transaction", data: bytes) -> HeapPage:
+        """Return a *fixed* page with room for ``data`` (newest first)."""
+        page_size = self._ctx.config.page_size
+        if len(data) + _SLOT_OVERHEAD + PAGE_OVERHEAD > page_size:
+            raise PageOverflowError(f"record of {len(data)} bytes exceeds page size")
+        for page_id in reversed(self.page_ids):
+            page = self._fix_heap_page(page_id)
+            if page.has_room_for(data, page_size):
+                return page
+            self._ctx.buffer.unfix(page_id)
+        return self._format_new_page(txn)
+
+    def _format_new_page(self, txn: "Transaction") -> HeapPage:
+        page_id = self._ctx.disk.allocate_page_id()
+        page = HeapPage(page_id, self.table_id)
+        self._ctx.buffer.fix_new(page)
+        record = update_record(
+            txn.txn_id,
+            RM_HEAP,
+            "format",
+            page_id,
+            {"table_id": self.table_id},
+            undoable=False,
+        )
+        lsn = self._ctx.txns.log_for(txn, record)
+        page.page_lsn = lsn
+        self._ctx.buffer.mark_dirty(page_id, lsn)
+        self.page_ids.append(page_id)
+        self._ctx.stats.incr("heap.pages_formatted")
+        return page
+
+
+class HeapResourceManager:
+    """Redo/undo handlers for heap log records."""
+
+    def apply_redo(self, ctx: "Database", page: HeapPage, record: LogRecord) -> None:
+        if record.op == "format":
+            ctx.disk.ensure_allocator_above(record.page_id)
+            page.table_id = record.payload["table_id"]
+            page.slots = []
+            return
+        rid: RID = record.payload["rid"]
+        if record.op in ("insert", "unghost_c"):
+            page.place_record(rid.slot, record.payload["data"], visible=True)
+        elif record.op == "delete":
+            page.place_record(rid.slot, record.payload["data"], visible=False)
+        elif record.op == "remove_c":
+            while len(page.slots) <= rid.slot:
+                page.slots.append(None)
+            page.slots[rid.slot] = None
+        else:
+            raise StorageError(f"unknown heap op {record.op!r}")
+
+    def make_shell(self, record: LogRecord) -> HeapPage:
+        return HeapPage(record.page_id, record.payload.get("table_id", 0))
+
+    def undo(self, ctx: "Database", txn: "Transaction", record: LogRecord) -> None:
+        rid: RID = record.payload["rid"]
+        page = ctx.buffer.fix(record.page_id)
+        latch = ctx.latches.page_latch(record.page_id)
+        latch.acquire("X")
+        try:
+            assert isinstance(page, HeapPage)
+            if record.op == "insert":
+                page.remove_record(rid.slot)
+                clr = clr_record(
+                    txn.txn_id,
+                    RM_HEAP,
+                    "remove_c",
+                    record.page_id,
+                    {"rid": rid, "data": record.payload["data"]},
+                    undo_next_lsn=record.prev_lsn,
+                )
+            elif record.op == "delete":
+                page.set_ghost(rid.slot, ghost=False)
+                clr = clr_record(
+                    txn.txn_id,
+                    RM_HEAP,
+                    "unghost_c",
+                    record.page_id,
+                    {"rid": rid, "data": record.payload["data"]},
+                    undo_next_lsn=record.prev_lsn,
+                )
+            else:
+                raise StorageError(f"heap op {record.op!r} is not undoable")
+            lsn = ctx.txns.log_for(txn, clr)
+            page.page_lsn = lsn
+            ctx.buffer.mark_dirty(record.page_id, lsn)
+        finally:
+            latch.release()
+            ctx.buffer.unfix(record.page_id)

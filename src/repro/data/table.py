@@ -1,0 +1,225 @@
+"""Tables: a heap file plus its indexes, with data-only locking glue.
+
+The ordering of work inside each operation is what makes ARIES/IM's
+data-only locking sound (§2.1):
+
+- **insert**: the record manager inserts the record and takes the
+  commit-duration X lock on its RID *first*; each index insert then
+  only needs the instant next-key lock — the new key itself is already
+  protected by the record lock.
+- **delete**: the RID is X-locked, every index deletes its key (taking
+  the commit-duration next-key locks), and the record is ghosted last.
+- **fetch via an index**: the index S-locks the found key — which *is*
+  the record lock — so the record manager reads without locking.
+
+With an index-specific protocol the record manager locks on fetch too
+(``protocol.record_fetch_needs_lock``), which is exactly the extra
+locking cost the paper charges those protocols with.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.common.errors import KeyNotFoundError, LockError
+from repro.common.keys import UserKey, encode_key, prefix_upper_bound
+from repro.common.rid import RID
+from repro.locks.modes import LockMode
+from repro.btree.fetch import Cursor, index_fetch, index_fetch_next
+from repro.btree.insert import index_insert
+from repro.btree.delete import index_delete
+from repro.data.heap import HeapFile
+from repro.wal.serialization import decode_value, encode_value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.btree.tree import BTree
+    from repro.db import Database
+    from repro.txn.transaction import Transaction
+
+Row = dict[str, Any]
+
+
+def encode_row(row: Row) -> bytes:
+    return encode_value(row)
+
+
+def decode_row(raw: bytes) -> Row:
+    row, _ = decode_value(raw)
+    return row
+
+
+class Table:
+    """One table: heap file + any number of B+-tree indexes."""
+
+    def __init__(self, ctx: "Database", table_id: int, name: str) -> None:
+        self._ctx = ctx
+        self.table_id = table_id
+        self.name = name
+        self.heap = HeapFile(ctx, table_id)
+        self.indexes: dict[str, "BTree"] = {}
+
+    # -- modification ------------------------------------------------------------
+
+    def insert(self, txn: "Transaction", row: Row) -> RID:
+        """Insert ``row``; maintains every index.
+
+        The record lock (X, commit duration) is taken by the heap
+        insert, before any index is touched."""
+        rid = self.heap.insert(txn, encode_row(row))
+        for tree in self.indexes.values():
+            key = tree.make_key(row[tree.column], rid)
+            index_insert(tree, txn, key)
+        return rid
+
+    def delete(self, txn: "Transaction", rid: RID) -> Row:
+        """Delete the record at ``rid``; maintains every index.
+
+        The commit-duration X record lock comes first (§2.1: with
+        data-only locking the record manager's lock is the one that
+        protects the keys being deleted)."""
+        self.heap._lock(txn, rid, LockMode.X)
+        raw = self.heap.fetch(txn, rid, lock=False)
+        row = decode_row(raw)
+        for tree in self.indexes.values():
+            key = tree.make_key(row[tree.column], rid)
+            index_delete(tree, txn, key)
+        self.heap.delete(txn, rid)
+        return row
+
+    def update(self, txn: "Transaction", rid: RID, changes: Row) -> RID:
+        """Delete + re-insert (the classic physiological update)."""
+        row = self.delete(txn, rid)
+        row.update(changes)
+        return self.insert(txn, row)
+
+    # -- retrieval ----------------------------------------------------------------
+
+    def fetch_row(self, txn: "Transaction", rid: RID, lock: bool = True) -> Row:
+        return decode_row(self.heap.fetch(txn, rid, lock=lock))
+
+    def fetch_by_key(
+        self,
+        txn: "Transaction",
+        index_name: str,
+        key: UserKey,
+        isolation: str = "rr",
+    ) -> tuple[RID, Row] | None:
+        """Point lookup through an index (Fetch with '=' condition).
+
+        ``isolation="cs"`` (cursor stability, degree 2): the key lock is
+        released as soon as the row has been read, instead of being held
+        to commit.  Mixing isolation levels over the same keys within
+        one transaction weakens the RR guarantees for those keys."""
+        tree = self.indexes[index_name]
+        result = index_fetch(tree, txn, encode_key(key), comparison="=", isolation=isolation)
+        if not result.found:
+            self._cs_release(txn, result, isolation)
+            return None
+        rid = result.key.rid
+        lock = tree.protocol.record_fetch_needs_lock
+        row = self.fetch_row(txn, rid, lock=lock)
+        self._cs_release(txn, result, isolation)
+        return rid, row
+
+    def fetch_by_prefix(
+        self, txn: "Transaction", index_name: str, prefix: UserKey
+    ) -> tuple[RID, Row] | None:
+        """Partial-key Fetch (§1.1): the first key whose value starts
+        with ``prefix``, or None (with the repeatable not-found lock
+        left behind, as for any Fetch miss)."""
+        tree = self.indexes[index_name]
+        encoded = encode_key(prefix)
+        result = index_fetch(tree, txn, encoded, comparison=">=")
+        if not result.found or not result.key.value.startswith(encoded):
+            return None
+        rid = result.key.rid
+        lock = tree.protocol.record_fetch_needs_lock
+        return rid, self.fetch_row(txn, rid, lock=lock)
+
+    def scan_prefix(
+        self, txn: "Transaction", index_name: str, prefix: UserKey
+    ) -> Iterator[tuple[RID, Row]]:
+        """All rows whose index value starts with ``prefix``, in order."""
+        tree = self.indexes[index_name]
+        encoded = encode_key(prefix)
+        upper = prefix_upper_bound(encoded)
+        from repro.btree.fetch import Cursor
+
+        cursor = Cursor(tree)
+        lock_records = tree.protocol.record_fetch_needs_lock
+        result = index_fetch(tree, txn, encoded, comparison=">=", cursor=cursor)
+        while result.found and result.key is not None:
+            if not result.key.value.startswith(encoded):
+                return
+            rid = result.key.rid
+            yield rid, self.fetch_row(txn, rid, lock=lock_records)
+            result = index_fetch_next(
+                tree, txn, cursor, stop_value=upper, stop_comparison="<"
+            ) if upper is not None else index_fetch_next(tree, txn, cursor)
+
+    def _cs_release(self, txn: "Transaction", result, isolation: str) -> None:
+        """Release a cursor-stability key lock once the cursor moved on."""
+        if isolation != "cs" or result.lock_name is None or txn.in_rollback:
+            return
+        try:
+            self._ctx.locks.release(txn.txn_id, result.lock_name)
+        except LockError:
+            pass  # already converted away or not retained (instant path)
+
+    def scan(
+        self,
+        txn: "Transaction",
+        index_name: str,
+        low: UserKey | None = None,
+        high: UserKey | None = None,
+        low_comparison: str = ">=",
+        high_comparison: str = "<=",
+        isolation: str = "rr",
+    ) -> Iterator[tuple[RID, Row]]:
+        """Range scan: Fetch to open, Fetch Next to advance (§2.2/§2.3).
+
+        Under cursor stability (``isolation="cs"``) each key's lock is
+        released as soon as the cursor advances past it, so at most one
+        scan lock is held at a time (degree 2)."""
+        tree = self.indexes[index_name]
+        cursor = Cursor(tree)
+        start = encode_key(low) if low is not None else b""
+        stop = encode_key(high) if high is not None else None
+        lock_records = tree.protocol.record_fetch_needs_lock
+        result = index_fetch(
+            tree, txn, start, comparison=low_comparison, cursor=cursor,
+            isolation=isolation,
+        )
+        if not result.found:
+            self._cs_release(txn, result, isolation)
+            return
+        while True:
+            assert result.key is not None
+            if stop is not None and not _within(result.key.value, stop, high_comparison):
+                self._cs_release(txn, result, isolation)
+                return
+            rid = result.key.rid
+            yield rid, self.fetch_row(txn, rid, lock=lock_records)
+            previous = result
+            result = index_fetch_next(
+                tree, txn, cursor, stop_value=stop, stop_comparison=high_comparison,
+                isolation=isolation,
+            )
+            self._cs_release(txn, previous, isolation)
+            if not result.found:
+                self._cs_release(txn, result, isolation)
+                return
+
+    def row_count(self, txn: "Transaction") -> int:
+        """Visible records (via the heap, no index)."""
+        return len(self.heap.scan_rids())
+
+
+def _within(value: bytes, stop: bytes, comparison: str) -> bool:
+    if comparison == "<":
+        return value < stop
+    if comparison == "<=":
+        return value <= stop
+    if comparison == "=":
+        return value == stop
+    raise KeyNotFoundError(f"unsupported comparison {comparison!r}")

@@ -1,0 +1,453 @@
+"""The public database facade.
+
+Wires the substrates together — simulated disk, WAL, buffer pool,
+latch and lock managers, transaction manager, heap, and the ARIES/IM
+B+-tree — and exposes the surface a downstream user works with::
+
+    db = Database()
+    accounts = db.create_table("accounts")
+    db.create_index("accounts", "by_id", column="id", unique=True)
+
+    txn = db.begin()
+    db.insert(txn, "accounts", {"id": 7, "balance": 100})
+    db.commit(txn)
+
+    db.crash()      # drop all volatile state
+    db.restart()    # ARIES analysis / redo / undo
+
+Crash simulation keeps the *catalog* (table/index names, root page
+ids) in memory: the paper is about index management, not catalog
+management, and a real system would recover the catalog from its own
+(also ARIES-protected) tables.  Everything that matters to the
+experiments — page contents, log contents, transaction state — lives
+in the simulated durable stores and genuinely dies with ``crash()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.common.config import DEFAULT_CONFIG, DatabaseConfig
+from repro.common.errors import ConfigError, KeyNotFoundError
+from repro.common.failpoints import FailpointRegistry
+from repro.common.keys import UserKey, encode_key
+from repro.common.rid import RID
+from repro.common.stats import StatsRegistry
+from repro.btree.node import IndexPage
+from repro.btree.protocol import LockingProtocol, make_protocol
+from repro.btree.recovery import BTreeResourceManager
+from repro.btree.tree import BTree
+from repro.data.heap import HeapPage, HeapResourceManager
+from repro.data.table import Row, Table
+from repro.locks.manager import LockManager
+from repro.locks.modes import data_page_lock_name, record_lock_name
+from repro.recovery.checkpoint import take_checkpoint
+from repro.recovery.restart import RestartReport, run_restart
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.latch import LatchManager
+from repro.storage.page import Page
+from repro.txn.manager import TransactionManager
+from repro.txn.rm import ResourceManagerRegistry
+from repro.txn.transaction import Transaction
+from repro.wal.log import LogManager
+from repro.wal.records import RM_BTREE, RM_HEAP, LogRecord, RecordKind, update_record
+
+
+class Database:
+    """One simulated database instance."""
+
+    def __init__(self, config: DatabaseConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self.stats = StatsRegistry(enabled=config.stats_enabled)
+        self.failpoints = FailpointRegistry()
+        self.disk = DiskManager(config.page_size, self.stats)
+        self.log = LogManager(self.stats)
+        self.buffer = BufferPool(self.disk, self.log, config.buffer_pool_pages, self.stats)
+        self.latches = self._make_latches()
+        self.locks = LockManager(
+            self.stats,
+            timeout=config.lock_timeout_seconds,
+            deadlock_detection=config.deadlock_detection,
+        )
+        self.rm_registry = ResourceManagerRegistry()
+        self.rm_registry.register(RM_HEAP, HeapResourceManager())
+        self.rm_registry.register(RM_BTREE, BTreeResourceManager())
+        self.txns = TransactionManager(self.log, self.locks, self.rm_registry, self.stats)
+        self.tables: dict[str, Table] = {}
+        self._indexes_by_id: dict[int, BTree] = {}
+        self._table_ids = itertools.count(1)
+        self._index_ids = itertools.count(1)
+        self._crashed = False
+
+    def _make_latches(self) -> LatchManager:
+        debug_max = 2 if self.config.debug_latch_checks else None
+        return LatchManager(
+            self.stats,
+            debug_max_page_latches=debug_max,
+            timeout=self.config.latch_timeout_seconds,
+        )
+
+    # -- schema -------------------------------------------------------------------
+
+    def create_table(self, name: str) -> Table:
+        if name in self.tables:
+            raise ConfigError(f"table {name!r} already exists")
+        table = Table(self, next(self._table_ids), name)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        return self.tables[name]
+
+    def create_index(
+        self,
+        table_name: str,
+        index_name: str,
+        column: str,
+        unique: bool = False,
+        protocol: LockingProtocol | str | None = None,
+    ) -> BTree:
+        """Create a B+-tree index on ``column``; backfills existing rows.
+
+        ``protocol`` overrides the config-level locking protocol for
+        this index (used by the baseline-comparison experiments)."""
+        table = self.tables[table_name]
+        if index_name in table.indexes:
+            raise ConfigError(f"index {index_name!r} already exists")
+        if protocol is None:
+            protocol = make_protocol(self.config.index_locking)
+        elif isinstance(protocol, str):
+            protocol = make_protocol(protocol)
+
+        index_id = next(self._index_ids)
+        txn = self.begin()
+        root_id = self.disk.allocate_page_id()
+        root = IndexPage(root_id, index_id, level=0)
+        self.buffer.fix_new(root)
+        record = update_record(
+            txn.txn_id,
+            RM_BTREE,
+            "page_format",
+            root_id,
+            {"page": root.to_payload()},
+            undoable=False,
+        )
+        lsn = self.txns.log_for(txn, record)
+        root.page_lsn = lsn
+        self.buffer.mark_dirty(root_id, lsn)
+        self.buffer.unfix(root_id)
+
+        tree = BTree(
+            ctx=self,
+            index_id=index_id,
+            name=index_name,
+            table_id=table.table_id,
+            column=column,
+            root_page_id=root_id,
+            unique=unique,
+            protocol=protocol,
+        )
+        table.indexes[index_name] = tree
+        self._indexes_by_id[index_id] = tree
+
+        # Backfill: index every existing visible record.
+        from repro.btree.insert import index_insert
+
+        for rid in table.heap.scan_rids():
+            row = table.fetch_row(txn, rid, lock=False)
+            index_insert(tree, txn, tree.make_key(row[column], rid))
+        self.commit(txn)
+        return tree
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        """Drop an index: every tree page is freed (logged, so the drop
+        is redone after a crash) and the catalog entry removed.
+
+        DDL isolation is out of scope (as is the catalog itself, see
+        the module docstring): the caller must quiesce operations on
+        the index being dropped.
+        """
+        from repro.btree.smo import freed_payload
+
+        table = self.tables[table_name]
+        tree = table.indexes[index_name]
+        txn = self.begin()
+        tree.smo_begin(txn)  # exclude SMOs while we dismantle
+        try:
+            page_ids: list[int] = []
+
+            def collect(page_id: int) -> None:
+                page = self.buffer.fix(page_id)
+                children = list(page.child_ids) if isinstance(page, IndexPage) else []
+                self.buffer.unfix(page_id)
+                page_ids.append(page_id)
+                for child in children:
+                    collect(child)
+
+            collect(tree.root_page_id)
+            for page_id in page_ids:
+                page = self.buffer.fix(page_id)
+                self.latches.page_latch(page_id).acquire("X")
+                try:
+                    record = update_record(
+                        txn.txn_id,
+                        RM_BTREE,
+                        "set_page",
+                        page_id,
+                        {
+                            "before": page.to_payload(),
+                            "after": freed_payload(page_id),
+                        },
+                    )
+                    lsn = self.txns.log_for(txn, record)
+                    page.load_payload(freed_payload(page_id))
+                    page.page_lsn = lsn
+                    self.buffer.mark_dirty(page_id, lsn)
+                finally:
+                    self.latches.page_latch(page_id).release()
+                    self.buffer.unfix(page_id)
+        finally:
+            tree.smo_end(txn)
+        del table.indexes[index_name]
+        del self._indexes_by_id[tree.index_id]
+        self.commit(txn)
+        self.stats.incr("db.indexes_dropped")
+
+    def index_by_id(self, index_id: int) -> BTree:
+        return self._indexes_by_id[index_id]
+
+    def heap_lock_name(self, table_id: int, rid: RID) -> tuple:
+        """Data-only lock name for a record (§2.1: the record, or the
+        data page id that is part of the record id)."""
+        if self.config.lock_granularity == "page":
+            return data_page_lock_name(table_id, rid.page_id)
+        return record_lock_name(table_id, rid)
+
+    # -- transactions ----------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        return self.txns.begin()
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """Scope a transaction: commit on normal exit, roll back on any
+        exception (which is re-raised)::
+
+            with db.transaction() as txn:
+                db.insert(txn, "t", {...})
+        """
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.is_active:
+                self.rollback(txn)
+            raise
+        else:
+            if txn.is_active:
+                self.commit(txn)
+
+    def commit(self, txn: Transaction) -> None:
+        self.txns.commit(txn)
+        self._maybe_checkpoint()
+
+    def rollback(self, txn: Transaction) -> None:
+        self.txns.rollback(self, txn)
+
+    def savepoint(self, txn: Transaction, name: str) -> int:
+        return self.txns.savepoint(txn, name)
+
+    def rollback_to_savepoint(self, txn: Transaction, name: str) -> None:
+        self.txns.rollback_to_savepoint(self, txn, name)
+
+    # -- data operations ----------------------------------------------------------------
+
+    def insert(self, txn: Transaction, table_name: str, row: Row) -> RID:
+        return self.tables[table_name].insert(txn, row)
+
+    def fetch(
+        self,
+        txn: Transaction,
+        table_name: str,
+        index_name: str,
+        key: UserKey,
+        isolation: str = "rr",
+    ) -> Row | None:
+        hit = self.tables[table_name].fetch_by_key(
+            txn, index_name, key, isolation=isolation
+        )
+        return hit[1] if hit is not None else None
+
+    def fetch_prefix(
+        self, txn: Transaction, table_name: str, index_name: str, prefix: UserKey
+    ) -> Row | None:
+        """Partial-key Fetch (§1.1): first row whose key starts with
+        ``prefix``."""
+        hit = self.tables[table_name].fetch_by_prefix(txn, index_name, prefix)
+        return hit[1] if hit is not None else None
+
+    def scan_prefix(
+        self, txn: Transaction, table_name: str, index_name: str, prefix: UserKey
+    ) -> Iterator[tuple[RID, Row]]:
+        return self.tables[table_name].scan_prefix(txn, index_name, prefix)
+
+    def delete_by_key(
+        self, txn: Transaction, table_name: str, index_name: str, key: UserKey
+    ) -> Row:
+        table = self.tables[table_name]
+        hit = table.fetch_by_key(txn, index_name, key)
+        if hit is None:
+            raise KeyNotFoundError(
+                f"key {key!r} not found via {table_name}.{index_name}"
+            )
+        rid, _ = hit
+        return table.delete(txn, rid)
+
+    def scan(
+        self,
+        txn: Transaction,
+        table_name: str,
+        index_name: str,
+        low: UserKey | None = None,
+        high: UserKey | None = None,
+        low_comparison: str = ">=",
+        high_comparison: str = "<=",
+        isolation: str = "rr",
+    ) -> Iterator[tuple[RID, Row]]:
+        return self.tables[table_name].scan(
+            txn,
+            index_name,
+            low=low,
+            high=high,
+            low_comparison=low_comparison,
+            high_comparison=high_comparison,
+            isolation=isolation,
+        )
+
+    # -- durability control -----------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        lsn = take_checkpoint(self)
+        self._ckpt_watermark = self.log.records_appended
+        return lsn
+
+    def trim_log(self) -> int:
+        """Reclaim the log prefix no recovery pass can need.
+
+        The safe point is the minimum of: the master checkpoint's begin
+        LSN (analysis starts there), every dirty page's recLSN (redo
+        starts at their minimum), and every active transaction's first
+        record (total rollback walks back to it).  Returns bytes
+        reclaimed.  Call after a checkpoint for best effect.
+        """
+        from repro.wal.records import NULL_LSN
+
+        candidates = [self.log.master_lsn or 1]
+        dirty = self.buffer.dirty_page_table()
+        if dirty:
+            candidates.append(min(dirty.values()))
+        for txn in self.txns.active_transactions():
+            if txn.first_lsn != NULL_LSN:
+                candidates.append(txn.first_lsn)
+        return self.log.truncate_prefix(min(candidates))
+
+    def _maybe_checkpoint(self) -> None:
+        """Fuzzy-checkpoint automatically every
+        ``checkpoint_interval_records`` log records (0 disables)."""
+        interval = self.config.checkpoint_interval_records
+        if not interval:
+            return
+        written = self.log.records_appended
+        if written - getattr(self, "_ckpt_watermark", 0) >= interval:
+            self.checkpoint()
+
+    def flush_all_pages(self) -> None:
+        self.buffer.flush_all()
+
+    def flush_page(self, page_id: int) -> None:
+        self.buffer.flush_page(page_id)
+
+    def crash(self) -> None:
+        """Simulate a system failure: all volatile state is lost.
+
+        The log keeps only its forced prefix; the buffer pool, lock
+        table, latch table, and transaction table vanish."""
+        self.log.crash()
+        self.buffer.crash()
+        self.latches = self._make_latches()
+        self.locks = LockManager(
+            self.stats,
+            timeout=self.config.lock_timeout_seconds,
+            deadlock_detection=self.config.deadlock_detection,
+        )
+        self.txns = TransactionManager(self.log, self.locks, self.rm_registry, self.stats)
+        self.failpoints.disarm_all(crash_paused=True)
+        self._crashed = True
+        self.stats.incr("db.crashes")
+
+    def restart(self) -> RestartReport:
+        """ARIES restart recovery: analysis, redo, undo."""
+        report = run_restart(self)
+        self._rebuild_heap_views()
+        self._bump_txn_ids()
+        self._crashed = False
+        return report
+
+    # -- post-restart reconciliation -------------------------------------------------------
+
+    def _rebuild_heap_views(self) -> None:
+        """Re-derive each heap file's page list from recovered storage
+        (pages allocated-but-lost before the crash must disappear from
+        the in-memory view, recreated ones must reappear)."""
+        by_table: dict[int, list[int]] = {}
+        page_ids = set(self.disk.page_ids()) | set(self.buffer.cached_page_ids())
+        for page_id in sorted(page_ids):
+            try:
+                page = self.buffer.fix(page_id)
+            except Exception:
+                continue
+            try:
+                if isinstance(page, HeapPage):
+                    by_table.setdefault(page.table_id, []).append(page_id)
+            finally:
+                self.buffer.unfix(page_id)
+        for table in self.tables.values():
+            table.heap.page_ids = by_table.get(table.table_id, [])
+
+    def _bump_txn_ids(self) -> None:
+        """Never reuse a transaction id that appears in the log."""
+        highest = 0
+        for record in self.log.records():
+            if record.txn_id > highest:
+                highest = record.txn_id
+        self.txns.adopt_floor(highest + 1)
+
+    # -- diagnostics ----------------------------------------------------------------------
+
+    def verify_indexes(self) -> dict[str, list[str]]:
+        """Structure-check every index; maps index name → violations."""
+        problems: dict[str, list[str]] = {}
+        for table in self.tables.values():
+            for tree in table.indexes.values():
+                found = tree.check_structure()
+                if found:
+                    problems[tree.name] = found
+        return problems
+
+    def log_records(self, from_lsn: int = 1) -> list[LogRecord]:
+        return list(self.log.records(from_lsn))
+
+    def log_kinds(self, from_lsn: int = 1) -> list[str]:
+        """Compact log shape for the Figure 9/10 assertions."""
+        out = []
+        for record in self.log.records(from_lsn):
+            if record.kind is RecordKind.UPDATE:
+                out.append(f"{record.rm}.{record.op}")
+            elif record.kind is RecordKind.CLR:
+                out.append(f"clr:{record.op}")
+            else:
+                out.append(record.kind.value)
+        return out

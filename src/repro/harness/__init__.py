@@ -1,0 +1,36 @@
+"""Experiment harness: workloads, lock audits, interleaving counts."""
+
+from repro.harness.lockaudit import AuditRow, audit_operation, figure2_rows
+from repro.harness.interleave import (
+    Scenario,
+    canonical_scenarios,
+    count_permitted_interleavings,
+    interleaving_table,
+)
+from repro.harness.report import format_ratio, format_table
+from repro.harness.workload import (
+    Operation,
+    RunResult,
+    WorkloadSpec,
+    generate_operations,
+    make_database,
+    run_operations,
+)
+
+__all__ = [
+    "AuditRow",
+    "Operation",
+    "RunResult",
+    "Scenario",
+    "WorkloadSpec",
+    "audit_operation",
+    "canonical_scenarios",
+    "count_permitted_interleavings",
+    "figure2_rows",
+    "format_ratio",
+    "format_table",
+    "generate_operations",
+    "interleaving_table",
+    "make_database",
+    "run_operations",
+]

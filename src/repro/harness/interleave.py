@@ -1,0 +1,253 @@
+"""The [KuPa79] concurrency measure: counting permitted interleavings.
+
+The paper's notion of concurrency is qualitative: a protocol permits
+*more* concurrency than another if it allows more interleavings of a
+given set of transactions (§1).  These helpers make that measurable on
+canonical two-transaction conflict micro-scenarios: for each scenario
+we enumerate the interleavings of the two transactions' steps and count
+how many a protocol would execute without blocking.
+
+Blocking is detected for real, not modeled: each step runs with every
+lock request made *conditional* (a failed conditional acquisition marks
+the interleaving as forbidden), on a fresh database per interleaving.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import (
+    KeyNotFoundError,
+    LockNotGrantedError,
+    UniqueKeyViolationError,
+)
+from repro.db import Database
+from repro.harness.workload import WorkloadSpec, make_database
+
+Step = Callable[[Database, object], None]
+
+
+@dataclass
+class Scenario:
+    """Two transactions' step lists over a pre-populated database."""
+
+    name: str
+    txn1_steps: list[Step]
+    txn2_steps: list[Step]
+
+
+def _fetch(key: int) -> Step:
+    def step(db: Database, txn) -> None:
+        db.fetch(txn, "t", "by_k", key)
+
+    return step
+
+
+def _insert(key: int) -> Step:
+    def step(db: Database, txn) -> None:
+        try:
+            db.insert(txn, "t", {"k": key, "pad": "x"})
+        except UniqueKeyViolationError:
+            pass
+
+    return step
+
+
+def _delete(key: int) -> Step:
+    def step(db: Database, txn) -> None:
+        try:
+            db.delete_by_key(txn, "t", "by_k", key)
+        except KeyNotFoundError:
+            pass
+
+    return step
+
+
+def canonical_scenarios(stride: int) -> list[Scenario]:
+    """Conflict micro-scenarios over keys spaced ``stride`` apart.
+
+    Keys 10·stride and 20·stride exist; the in-between values do not.
+    """
+    k1 = 10 * stride
+    gap1 = k1 + 1
+    gap2 = k1 + 2
+    k2 = 20 * stride
+    return [
+        Scenario("disjoint inserts", [_insert(gap1)], [_insert(k2 + 1)]),
+        Scenario("adjacent inserts", [_insert(gap1)], [_insert(gap2)]),
+        Scenario("insert vs fetch of neighbour", [_insert(gap1)], [_fetch(k1)]),
+        Scenario("delete vs fetch of same key", [_delete(k1)], [_fetch(k1)]),
+        Scenario("delete vs insert of same value", [_delete(k1)], [_insert(k1)]),
+        Scenario("delete vs insert in next gap", [_delete(k1)], [_insert(gap1)]),
+        Scenario("two fetches of same key", [_fetch(k1)], [_fetch(k1)]),
+        Scenario("insert vs delete of neighbour", [_insert(gap1)], [_delete(k2)]),
+    ]
+
+
+# -- nonunique-index scenarios ---------------------------------------------------
+#
+# The §1 headline for nonunique indexes: KVL locks key *values*, so all
+# duplicates share one lock; ARIES/IM locks individual keys (= records
+# under data-only locking), so operations on *different duplicates* of
+# the same value proceed concurrently.
+
+
+def _insert_dup(tag: str) -> Step:
+    def step(db: Database, txn) -> None:
+        db.insert(txn, "t", {"k": tag, "pad": "x"})
+
+    return step
+
+
+def _fetch_dup(tag: str) -> Step:
+    def step(db: Database, txn) -> None:
+        db.fetch(txn, "t", "by_k", tag)
+
+    return step
+
+
+def _delete_one_dup(tag: str, which: int) -> Step:
+    def step(db: Database, txn) -> None:
+        hits = list(db.scan(txn, "t", "by_k", low=tag, high=tag, isolation="cs"))
+        db.tables["t"].delete(txn, hits[which][0])
+
+    return step
+
+
+def nonunique_scenarios() -> list[Scenario]:
+    """Duplicate-value conflicts.  The populated database (see
+    :func:`make_nonunique_database`) holds several rows with k='dup'."""
+    return [
+        Scenario("two inserts of same value", [_insert_dup("dup")], [_insert_dup("dup")]),
+        Scenario(
+            "delete one dup vs delete another",
+            [_delete_one_dup("dup", 0)],
+            [_delete_one_dup("dup", 2)],
+        ),
+        Scenario(
+            "insert dup vs fetch of the value",
+            [_insert_dup("dup")],
+            [_fetch_dup("dup")],
+        ),
+        Scenario(
+            "delete one dup vs insert another",
+            [_delete_one_dup("dup", 0)],
+            [_insert_dup("dup")],
+        ),
+    ]
+
+
+def make_nonunique_database(protocol: str) -> Database:
+    """Table ``t`` with a *nonunique* index ``by_k`` on string tags and
+    five committed 'dup' rows (plus neighbours)."""
+    from repro.db import Database as _Database
+
+    db = _Database()
+    db.create_table("t")
+    db.create_index("t", "by_k", column="k", unique=False, protocol=protocol)
+    txn = db.begin()
+    for tag in ("aaa", "dup", "dup", "dup", "dup", "dup", "zzz"):
+        db.insert(txn, "t", {"k": tag, "pad": "x"})
+    db.commit(txn)
+    return db
+
+
+def count_permitted_nonunique(scenario: Scenario, protocol: str) -> tuple[int, int]:
+    """Like :func:`count_permitted_interleavings` for the duplicate
+    scenarios (fresh nonunique database per interleaving)."""
+    steps1 = len(scenario.txn1_steps)
+    steps2 = len(scenario.txn2_steps)
+    orders = set(itertools.permutations([0] * steps1 + [1] * steps2))
+    permitted = 0
+    for order in sorted(orders):
+        db = make_nonunique_database(protocol)
+        _make_all_locks_conditional(db)
+        txns = [db.begin(), db.begin()]
+        cursors = [iter(scenario.txn1_steps), iter(scenario.txn2_steps)]
+        ok = True
+        try:
+            for who in order:
+                next(cursors[who])(db, txns[who])
+            db.commit(txns[0])
+            db.commit(txns[1])
+        except LockNotGrantedError:
+            ok = False
+        if ok:
+            permitted += 1
+    return permitted, len(orders)
+
+
+def nonunique_interleaving_table(
+    protocols: list[str],
+) -> list[tuple[str, dict[str, str]]]:
+    out = []
+    for scenario in nonunique_scenarios():
+        row = {}
+        for protocol in protocols:
+            permitted, total = count_permitted_nonunique(scenario, protocol)
+            row[protocol] = f"{permitted}/{total}"
+        out.append((scenario.name, row))
+    return out
+
+
+def count_permitted_interleavings(
+    scenario: Scenario, protocol: str, spec: WorkloadSpec | None = None
+) -> tuple[int, int]:
+    """(permitted, total) interleavings of the scenario's steps.
+
+    Each interleaving runs on a fresh database with conditional-only
+    locking; an interleaving is forbidden as soon as any step blocks.
+    Both transactions commit at the end (so commit-duration locks are
+    held across the whole interleaving, which is the point).
+    """
+    spec = spec or WorkloadSpec(n_initial=50, key_space=1000, seed=3)
+    steps1 = len(scenario.txn1_steps)
+    steps2 = len(scenario.txn2_steps)
+    orders = set(
+        itertools.permutations([0] * steps1 + [1] * steps2)
+    )
+    permitted = 0
+    for order in sorted(orders):
+        db = make_database(spec, protocol=protocol)
+        _make_all_locks_conditional(db)
+        txns = [db.begin(), db.begin()]
+        cursors = [iter(scenario.txn1_steps), iter(scenario.txn2_steps)]
+        ok = True
+        try:
+            for who in order:
+                step = next(cursors[who])
+                step(db, txns[who])
+            db.commit(txns[0])
+            db.commit(txns[1])
+        except LockNotGrantedError:
+            ok = False
+        if ok:
+            permitted += 1
+    return permitted, len(orders)
+
+
+def _make_all_locks_conditional(db: Database) -> None:
+    """Monkey-patch the lock manager so unconditional requests become
+    conditional: any would-block surfaces as LockNotGrantedError."""
+    original = db.locks.request
+
+    def conditional_request(txn_id, name, mode, duration, conditional=False):
+        return original(txn_id, name, mode, duration, conditional=True)
+
+    db.locks.request = conditional_request  # type: ignore[method-assign]
+
+
+def interleaving_table(protocols: list[str]) -> list[tuple[str, dict[str, str]]]:
+    """Scenario → {protocol: 'permitted/total'} for all protocols."""
+    spec = WorkloadSpec(n_initial=50, key_space=1000, seed=3)
+    stride = spec.key_space // spec.n_initial
+    out = []
+    for scenario in canonical_scenarios(stride):
+        row: dict[str, str] = {}
+        for protocol in protocols:
+            permitted, total = count_permitted_interleavings(scenario, protocol, spec)
+            row[protocol] = f"{permitted}/{total}"
+        out.append((scenario.name, row))
+    return out

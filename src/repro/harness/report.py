@@ -1,0 +1,39 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints the rows/series it regenerates through these
+helpers so EXPERIMENTS.md and the bench logs share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(cells[0]))
+    out.append(sep)
+    out.extend(line(row) for row in cells[1:])
+    return "\n".join(out)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """Human-readable ratio ('3.0x', 'inf' guarded)."""
+    if denominator == 0:
+        return "inf" if numerator else "1.0x"
+    return f"{numerator / denominator:.1f}x"

@@ -1,0 +1,44 @@
+"""Waits-for-graph deadlock detection.
+
+Locks (unlike latches) participate in deadlock detection (§1.2, §4).
+The detector is invoked just before a transaction blocks: it rebuilds
+the waits-for graph from the lock table and searches for a cycle
+through the about-to-block transaction.  If one exists, that
+transaction is chosen as the victim (the requester closed the cycle,
+so aborting it always breaks the cycle), and
+:class:`~repro.common.errors.DeadlockError` is raised to it.
+
+§4's claim — *rolling back transactions never get involved in
+deadlocks* — holds structurally here: rollback paths never call the
+lock manager, so an aborting transaction never re-enters this module.
+"""
+
+from __future__ import annotations
+
+
+def find_cycle(
+    waits_for: dict[int, set[int]], start: int
+) -> tuple[int, ...] | None:
+    """Return a cycle through ``start`` in the waits-for graph, or None.
+
+    The returned tuple lists the transactions on the cycle beginning
+    and ending (implicitly) at ``start``.
+    """
+    path: list[int] = []
+    visited: set[int] = set()
+
+    def visit(node: int) -> tuple[int, ...] | None:
+        if node == start and path:
+            return tuple(path)
+        if node in visited:
+            return None
+        visited.add(node)
+        path.append(node)
+        for successor in waits_for.get(node, ()):
+            found = visit(successor)
+            if found is not None:
+                return found
+        path.pop()
+        return None
+
+    return visit(start)

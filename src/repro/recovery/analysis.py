@@ -1,0 +1,112 @@
+"""Restart analysis pass (§1.2).
+
+Starting from the last complete checkpoint's begin record (found via
+the master record), scan forward to the end of the (durable) log,
+rebuilding:
+
+- the **transaction table**: every transaction with log activity and no
+  END record, with its last LSN and undo-next LSN — the losers the undo
+  pass will roll back (transactions with a COMMIT but no END are
+  winners and merely get their END written);
+- the **dirty page table**: page → recLSN for every page a redoable
+  record touched, seeding redo's starting point (the minimum recLSN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.txn.transaction import Transaction, TxnStatus
+from repro.wal.records import NULL_LSN, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+@dataclass
+class AnalysisResult:
+    transactions: dict[int, Transaction] = field(default_factory=dict)
+    dirty_pages: dict[int, int] = field(default_factory=dict)
+    redo_lsn: int = NULL_LSN
+    end_lsn: int = NULL_LSN
+    records_scanned: int = 0
+
+    @property
+    def losers(self) -> list[Transaction]:
+        return [
+            t
+            for t in self.transactions.values()
+            if t.status in (TxnStatus.ACTIVE, TxnStatus.ROLLING_BACK)
+        ]
+
+    @property
+    def winners_needing_end(self) -> list[Transaction]:
+        return [
+            t for t in self.transactions.values() if t.status is TxnStatus.COMMITTED
+        ]
+
+
+def run_analysis(ctx: "Database") -> AnalysisResult:
+    result = AnalysisResult()
+    start_lsn = ctx.log.master_lsn or 1
+    checkpoint_begin_seen = False
+
+    for record in ctx.log.records(start_lsn):
+        result.records_scanned += 1
+        result.end_lsn = record.lsn
+        kind = record.kind
+
+        if kind is RecordKind.CKPT_BEGIN:
+            checkpoint_begin_seen = True
+            continue
+        if kind is RecordKind.CKPT_END:
+            if checkpoint_begin_seen:
+                _merge_checkpoint(result, record.payload)
+            continue
+
+        if record.txn_id:
+            txn = result.transactions.get(record.txn_id)
+            if txn is None:
+                txn = Transaction(txn_id=record.txn_id)
+                result.transactions[txn.txn_id] = txn
+            txn.last_lsn = record.lsn
+            if kind is RecordKind.UPDATE and record.undoable:
+                txn.undo_next_lsn = record.lsn
+            elif kind in (RecordKind.CLR, RecordKind.DUMMY_CLR):
+                txn.undo_next_lsn = record.undo_next_lsn or NULL_LSN
+            elif kind is RecordKind.COMMIT:
+                txn.status = TxnStatus.COMMITTED
+            elif kind is RecordKind.ROLLBACK:
+                txn.status = TxnStatus.ROLLING_BACK
+            elif kind is RecordKind.END:
+                result.transactions.pop(record.txn_id, None)
+
+        if record.is_redoable and record.page_id is not None:
+            result.dirty_pages.setdefault(record.page_id, record.lsn)
+
+    if result.dirty_pages:
+        result.redo_lsn = min(result.dirty_pages.values())
+    ctx.stats.incr("recovery.analysis_passes")
+    ctx.stats.incr("recovery.analysis_records", result.records_scanned)
+    return result
+
+
+def _merge_checkpoint(result: AnalysisResult, payload: dict) -> None:
+    """Fold the checkpoint-end snapshots in (log records seen after the
+    checkpoint begin take precedence, so only fill gaps)."""
+    for entry in payload.get("txn_table", ()):
+        txn_id = entry["txn_id"]
+        if txn_id in result.transactions:
+            continue
+        txn = Transaction(txn_id=txn_id)
+        txn.status = TxnStatus(entry["status"])
+        txn.last_lsn = entry["last_lsn"]
+        txn.undo_next_lsn = entry["undo_next_lsn"]
+        result.transactions[txn_id] = txn
+    for entry in payload.get("dirty_pages", ()):
+        page_id = entry["page_id"]
+        rec_lsn = entry["rec_lsn"]
+        current = result.dirty_pages.get(page_id)
+        if current is None or rec_lsn < current:
+            result.dirty_pages[page_id] = rec_lsn

@@ -1,0 +1,52 @@
+"""Fuzzy checkpoints (§1.2).
+
+A checkpoint is a ``CKPT_BEGIN`` / ``CKPT_END`` record pair; the end
+record carries snapshots of the transaction table and the dirty page
+table taken *without* quiescing anything (hence fuzzy).  The master
+record then points at the begin record, which is where the next
+restart's analysis pass starts reading.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.txn.transaction import TxnStatus
+from repro.wal.records import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+def take_checkpoint(ctx: "Database") -> int:
+    """Write a fuzzy checkpoint; returns the begin record's LSN."""
+    begin = LogRecord(kind=RecordKind.CKPT_BEGIN, txn_id=0, undoable=False)
+    begin_lsn = ctx.log.append(begin)
+
+    txn_table = []
+    for txn in ctx.txns.table_snapshot().values():
+        if txn.status in (TxnStatus.ENDED,):
+            continue
+        txn_table.append(
+            {
+                "txn_id": txn.txn_id,
+                "status": txn.status.value,
+                "last_lsn": txn.last_lsn,
+                "undo_next_lsn": txn.undo_next_lsn,
+            }
+        )
+    dirty_pages = [
+        {"page_id": page_id, "rec_lsn": rec_lsn}
+        for page_id, rec_lsn in ctx.buffer.dirty_page_table().items()
+    ]
+    end = LogRecord(
+        kind=RecordKind.CKPT_END,
+        txn_id=0,
+        undoable=False,
+        payload={"txn_table": txn_table, "dirty_pages": dirty_pages},
+    )
+    ctx.log.append(end)
+    ctx.log.force()
+    ctx.log.write_master(begin_lsn)
+    ctx.stats.incr("recovery.checkpoints_taken")
+    return begin_lsn

@@ -1,0 +1,70 @@
+"""Restart redo pass: repeating history (§1.2).
+
+From the minimum recLSN in the reconstructed dirty page table, every
+redoable record (updates *and* CLRs) whose page might be stale is
+reapplied — for all transactions, including losers.  The test is the
+classic ARIES page-LSN comparison: a page whose ``page_lsn`` is at or
+beyond the record's LSN already contains the change.
+
+All redo work is **page-oriented**: the record names its page, the tree
+is never traversed (§3, "Logging").  Pages that never made it to disk
+are rebuilt from their format records (or as shells that an immediately
+following full-state record fills in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.errors import PageNotFoundError
+from repro.recovery.analysis import AnalysisResult
+from repro.wal.records import NULL_LSN
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+@dataclass
+class RedoResult:
+    records_examined: int = 0
+    records_redone: int = 0
+    pages_touched: int = 0
+
+
+def run_redo(ctx: "Database", analysis: AnalysisResult) -> RedoResult:
+    result = RedoResult()
+    if analysis.redo_lsn == NULL_LSN:
+        ctx.stats.incr("recovery.redo_passes")
+        return result
+    dirty_pages = analysis.dirty_pages
+    touched: set[int] = set()
+
+    for record in ctx.log.records(analysis.redo_lsn):
+        if not record.is_redoable:
+            continue
+        result.records_examined += 1
+        page_id = record.page_id
+        rec_lsn = dirty_pages.get(page_id)
+        if rec_lsn is None or record.lsn < rec_lsn:
+            continue  # the page's disk version is known to be current
+        rm = ctx.rm_registry.get(record.rm)
+        try:
+            page = ctx.buffer.fix(page_id)
+        except PageNotFoundError:
+            page = ctx.buffer.fix_new(rm.make_shell(record))
+        try:
+            if page.page_lsn < record.lsn:
+                rm.apply_redo(ctx, page, record)
+                page.page_lsn = record.lsn
+                ctx.buffer.set_rec_lsn(page_id, rec_lsn)
+                result.records_redone += 1
+                ctx.stats.incr("recovery.records_redone")
+            touched.add(page_id)
+        finally:
+            ctx.buffer.unfix(page_id)
+
+    result.pages_touched = len(touched)
+    ctx.stats.incr("recovery.redo_passes")
+    ctx.stats.incr("recovery.redo_pages_accessed", len(touched))
+    return result

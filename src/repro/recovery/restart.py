@@ -1,0 +1,61 @@
+"""Restart recovery orchestration: the three passes of ARIES (§1.2).
+
+``run_restart`` assumes the volatile state is already gone (the
+database's :meth:`crash` dropped the buffer pool and the unforced log
+tail) and performs analysis → redo (repeating history) → undo, then
+takes a checkpoint so the next restart is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.recovery.analysis import AnalysisResult, run_analysis
+from repro.recovery.checkpoint import take_checkpoint
+from repro.recovery.redo import RedoResult, run_redo
+from repro.recovery.undo import UndoResult, run_undo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+@dataclass
+class RestartReport:
+    """What restart did — the measures the paper cares about (§1):
+    passes over the log, pages accessed during redo and undo, and the
+    page-oriented vs. logical undo split (read from the stats
+    registry)."""
+
+    analysis: AnalysisResult
+    redo: RedoResult
+    undo: UndoResult
+    log_passes: int = 3
+
+
+def run_restart(ctx: "Database") -> RestartReport:
+    analysis = run_analysis(ctx)
+
+    # Adopt reconstructed in-flight transactions so undo can log CLRs
+    # through the ordinary transaction machinery.
+    for txn in analysis.transactions.values():
+        ctx.txns.adopt(txn)
+
+    redo = run_redo(ctx, analysis)
+
+    # Winners that committed but never wrote an END just need one.
+    for txn in analysis.winners_needing_end:
+        from repro.txn.transaction import TxnStatus
+        from repro.wal.records import LogRecord, RecordKind
+
+        end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id, undoable=False)
+        ctx.txns.log_for(txn, end)
+        txn.status = TxnStatus.ENDED
+        ctx.txns.forget(txn.txn_id)
+
+    undo = run_undo(ctx, analysis.losers)
+
+    ctx.log.force()
+    take_checkpoint(ctx)
+    ctx.stats.incr("recovery.restarts")
+    return RestartReport(analysis=analysis, redo=redo, undo=undo)

@@ -1,0 +1,183 @@
+"""Buffer pool: steal / no-force page caching with WAL enforcement.
+
+ARIES assumes the *steal* policy (dirty pages of uncommitted
+transactions may be written to disk — which is why undo exists) and
+*no-force* (commit does not flush data pages — which is why redo
+exists).  This pool implements both, plus the write-ahead-log rule:
+before a dirty page goes to disk, the log is forced up to that page's
+``page_lsn``.
+
+The pool also owns the **dirty page table** (page id → recLSN), which
+fuzzy checkpoints copy into the log and the analysis pass rebuilds.
+``recLSN`` is the LSN from which redo might be needed for that page:
+the end-of-log LSN at the moment the page first became dirty.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.errors import BufferPoolFullError, PageNotFoundError
+from repro.common.stats import StatsRegistry
+from repro.storage.disk import DiskManager
+from repro.storage.page import Page
+from repro.wal.log import LogManager
+
+
+@dataclass
+class _Frame:
+    page: Page
+    dirty: bool = False
+    fix_count: int = 0
+
+
+class BufferPool:
+    """Fixed-capacity page cache over the simulated disk."""
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        log: LogManager,
+        capacity: int,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self._disk = disk
+        self._log = log
+        self._capacity = capacity
+        self._stats = stats or StatsRegistry(enabled=False)
+        self._mutex = threading.RLock()
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        self._dirty_page_table: dict[int, int] = {}
+
+    # -- fixing ---------------------------------------------------------------
+
+    def fix(self, page_id: int) -> Page:
+        """Pin the page in the pool and return the live object.
+
+        Reads from disk on a miss.  The caller must latch the page
+        before inspecting or modifying it, and must :meth:`unfix` it.
+        """
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._frames.move_to_end(page_id)
+                frame.fix_count += 1
+                self._stats.incr("buffer.hits")
+                return frame.page
+            self._evict_if_needed()
+            raw = self._disk.read(page_id)
+            page = Page.from_bytes(raw)
+            frame = _Frame(page=page, fix_count=1)
+            self._frames[page_id] = frame
+            self._stats.incr("buffer.misses")
+            self._stats.incr("buffer.pages_read")
+            return page
+
+    def fix_new(self, page: Page) -> Page:
+        """Install a freshly created page (not yet on disk), pinned."""
+        with self._mutex:
+            if page.page_id in self._frames:
+                raise BufferPoolFullError(
+                    f"page {page.page_id} already present in the pool"
+                )
+            self._evict_if_needed()
+            self._frames[page.page_id] = _Frame(page=page, fix_count=1)
+            return page
+
+    def unfix(self, page_id: int) -> None:
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.fix_count <= 0:
+                raise PageNotFoundError(f"unfix of unpinned page {page_id}")
+            frame.fix_count -= 1
+
+    def is_cached(self, page_id: int) -> bool:
+        with self._mutex:
+            return page_id in self._frames
+
+    def cached_page_ids(self) -> list[int]:
+        with self._mutex:
+            return list(self._frames)
+
+    # -- dirtying ---------------------------------------------------------------
+
+    def mark_dirty(self, page_id: int, rec_lsn: int) -> None:
+        """Record that the (fixed) page was modified by the log record
+        at ``rec_lsn``.
+
+        Installs a dirty-page-table entry with recLSN = ``rec_lsn`` if
+        the page was clean; an already-dirty page keeps its original
+        (smaller) recLSN, per ARIES.
+        """
+        with self._mutex:
+            frame = self._frames[page_id]
+            frame.dirty = True
+            if page_id not in self._dirty_page_table:
+                self._dirty_page_table[page_id] = rec_lsn
+
+    def set_rec_lsn(self, page_id: int, rec_lsn: int) -> None:
+        """Force a specific recLSN (used by redo when reloading DPT info)."""
+        with self._mutex:
+            self._dirty_page_table[page_id] = rec_lsn
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                frame.dirty = True
+
+    def dirty_page_table(self) -> dict[int, int]:
+        with self._mutex:
+            return dict(self._dirty_page_table)
+
+    # -- flushing ----------------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> None:
+        """Write one page to disk, honouring the WAL rule."""
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                return
+            if not frame.dirty:
+                return
+            page = frame.page
+            self._log.force(page.page_lsn)
+            self._disk.write(page.page_id, page.to_bytes())
+            frame.dirty = False
+            self._dirty_page_table.pop(page_id, None)
+            self._stats.incr("buffer.pages_written")
+
+    def flush_all(self) -> None:
+        with self._mutex:
+            for page_id in list(self._frames):
+                self.flush_page(page_id)
+
+    def discard(self, page_id: int) -> None:
+        """Drop a page from the pool without flushing (page deallocated)."""
+        with self._mutex:
+            self._frames.pop(page_id, None)
+            self._dirty_page_table.pop(page_id, None)
+
+    # -- eviction -----------------------------------------------------------------
+
+    def _evict_if_needed(self) -> None:
+        while len(self._frames) >= self._capacity:
+            victim_id = None
+            for page_id, frame in self._frames.items():  # LRU order
+                if frame.fix_count == 0:
+                    victim_id = page_id
+                    break
+            if victim_id is None:
+                raise BufferPoolFullError(
+                    f"all {self._capacity} frames are pinned"
+                )
+            self.flush_page(victim_id)
+            del self._frames[victim_id]
+            self._stats.incr("buffer.evictions")
+
+    # -- crash -------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state (frames and dirty page table)."""
+        with self._mutex:
+            self._frames.clear()
+            self._dirty_page_table.clear()

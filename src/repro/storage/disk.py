@@ -1,0 +1,118 @@
+"""Simulated stable storage.
+
+A dict of page-id → (bytes, crc).  Page writes are atomic (no torn
+pages — the common assumption of ARIES-style recovery) and only what
+has been written here survives :meth:`crash` of the layers above.
+
+The disk also provides the two hooks the media-recovery experiment
+(E12) needs: :meth:`image_copy` takes a fuzzy dump of all pages, and
+:meth:`corrupt` damages one page so a later read raises
+:class:`~repro.common.errors.CorruptPageError`.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+
+from repro.common.errors import CorruptPageError, PageNotFoundError, StorageError
+from repro.common.stats import StatsRegistry
+
+
+class DiskManager:
+    """Byte-level page store with allocation and integrity checking."""
+
+    #: Page id 0 is reserved (NULL); real pages start at 1.
+    FIRST_PAGE_ID = 1
+
+    def __init__(self, page_size: int, stats: StatsRegistry | None = None) -> None:
+        self.page_size = page_size
+        self._stats = stats or StatsRegistry(enabled=False)
+        self._mutex = threading.Lock()
+        self._pages: dict[int, tuple[bytes, int]] = {}
+        self._next_page_id = self.FIRST_PAGE_ID
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate_page_id(self) -> int:
+        """Hand out a fresh page id (nothing is written yet)."""
+        with self._mutex:
+            page_id = self._next_page_id
+            self._next_page_id += 1
+        return page_id
+
+    def ensure_allocator_above(self, page_id: int) -> None:
+        """Bump the allocator past ``page_id``.
+
+        Called during redo when a page-format record recreates a page
+        that was allocated before the crash but never flushed, so the
+        allocator never re-issues an id that appears in the log.
+        """
+        with self._mutex:
+            if page_id >= self._next_page_id:
+                self._next_page_id = page_id + 1
+
+    @property
+    def next_page_id(self) -> int:
+        with self._mutex:
+            return self._next_page_id
+
+    # -- I/O -----------------------------------------------------------------
+
+    def write(self, page_id: int, raw: bytes) -> None:
+        """Atomically write one page image."""
+        if len(raw) > self.page_size:
+            raise StorageError(
+                f"page {page_id} image is {len(raw)} bytes; page size is {self.page_size}"
+            )
+        crc = zlib.crc32(raw)
+        with self._mutex:
+            self._pages[page_id] = (raw, crc)
+            if page_id >= self._next_page_id:
+                self._next_page_id = page_id + 1
+        self._stats.incr("disk.writes")
+
+    def read(self, page_id: int) -> bytes:
+        with self._mutex:
+            entry = self._pages.get(page_id)
+        if entry is None:
+            raise PageNotFoundError(f"page {page_id} does not exist on disk")
+        raw, crc = entry
+        if zlib.crc32(raw) != crc:
+            raise CorruptPageError(f"page {page_id} failed its integrity check")
+        self._stats.incr("disk.reads")
+        return raw
+
+    def contains(self, page_id: int) -> bool:
+        with self._mutex:
+            return page_id in self._pages
+
+    def deallocate(self, page_id: int) -> None:
+        """Drop a page image (used when a deallocation is flushed)."""
+        with self._mutex:
+            self._pages.pop(page_id, None)
+
+    def page_ids(self) -> list[int]:
+        with self._mutex:
+            return sorted(self._pages)
+
+    # -- media recovery hooks ---------------------------------------------------
+
+    def image_copy(self) -> dict[int, bytes]:
+        """Fuzzy dump: a snapshot of every page image currently on disk."""
+        with self._mutex:
+            return {pid: raw for pid, (raw, _) in self._pages.items()}
+
+    def restore_page(self, page_id: int, raw: bytes) -> None:
+        """Replace a (damaged) page with an image from a dump."""
+        self.write(page_id, raw)
+
+    def corrupt(self, page_id: int) -> None:
+        """Flip bytes in a page so the next read fails its CRC check."""
+        with self._mutex:
+            entry = self._pages.get(page_id)
+            if entry is None:
+                raise PageNotFoundError(f"page {page_id} does not exist on disk")
+            raw, crc = entry
+            damaged = bytes(b ^ 0xFF for b in raw[:16]) + raw[16:]
+            self._pages[page_id] = (damaged, crc)

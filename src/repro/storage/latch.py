@@ -1,0 +1,222 @@
+"""Latches: cheap short-duration S/X synchronization on pages and trees.
+
+ARIES distinguishes *latches* (physical consistency, no deadlock
+detection, held for instructions) from *locks* (logical consistency,
+deadlock detection, held for durations).  §2.1 and §4 of the paper
+dictate the protocol this module supports:
+
+- S and X modes, conditional and unconditional acquisition;
+- *instant* acquisition (acquire then release immediately), which is
+  how a traverser waits for an in-progress SMO to finish via the tree
+  latch;
+- re-entrant acquisition by the same owner at an equal-or-weaker mode
+  (an SMO holding the X tree latch performs the triggering insert,
+  whose action routine may request an instant S tree latch);
+- no deadlock detection: the caller's protocol (parent→child ordering,
+  leaf→next-leaf ordering, release-low-before-latch-high during SMO
+  propagation) guarantees freedom from latch deadlocks (§4).
+
+Waiting X requests block new S grants from *other* owners, so writers
+are not starved.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.common.errors import LatchError, LockNotGrantedError
+from repro.common.stats import StatsRegistry
+
+
+@dataclass
+class _Hold:
+    mode: str
+    count: int = 1
+
+
+class Latch:
+    """One S/X latch."""
+
+    def __init__(self, name: object, stats: StatsRegistry | None = None) -> None:
+        self.name = name
+        self._stats = stats or StatsRegistry(enabled=False)
+        self._cond = threading.Condition()
+        self._holders: dict[int, _Hold] = {}
+        self._x_waiters = 0
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _owner() -> int:
+        return threading.get_ident()
+
+    def _grantable(self, owner: int, mode: str) -> bool:
+        held = self._holders.get(owner)
+        if held is not None:
+            # Re-entrant: S under S or S under X is fine; X under S is an
+            # upgrade and is a protocol bug in this codebase.
+            if mode == "S":
+                return True
+            return held.mode == "X"
+        others = [h for o, h in self._holders.items() if o != owner]
+        if mode == "X":
+            return not others
+        # New S grant: blocked by an X holder or by a pending X waiter.
+        if any(h.mode == "X" for h in others):
+            return False
+        return self._x_waiters == 0
+
+    # -- API -------------------------------------------------------------------
+
+    def acquire(self, mode: str, conditional: bool = False, timeout: float = 30.0) -> None:
+        """Acquire in ``mode`` ('S' or 'X').
+
+        Conditional requests raise
+        :class:`~repro.common.errors.LockNotGrantedError` instead of
+        waiting — the building block of the paper's "release all
+        latches, then request unconditionally" discipline.
+        """
+        if mode not in ("S", "X"):
+            raise LatchError(f"invalid latch mode {mode!r}")
+        owner = self._owner()
+        with self._cond:
+            held = self._holders.get(owner)
+            if held is not None and mode == "X" and held.mode == "S":
+                raise LatchError(f"latch {self.name!r}: S→X upgrade attempted")
+            if not self._grantable(owner, mode):
+                if conditional:
+                    self._stats.incr("latch.conditional_misses")
+                    raise LockNotGrantedError(f"latch {self.name!r} busy")
+                if mode == "X":
+                    self._x_waiters += 1
+                try:
+                    granted = self._cond.wait_for(
+                        lambda: self._grantable(owner, mode), timeout=timeout
+                    )
+                finally:
+                    if mode == "X":
+                        self._x_waiters -= 1
+                if not granted:
+                    raise LatchError(
+                        f"latch {self.name!r} not granted within {timeout}s "
+                        "(protocol bug: latch deadlocks are impossible by design)"
+                    )
+                self._stats.incr("latch.waits")
+            held = self._holders.get(owner)
+            if held is not None:
+                held.count += 1
+                if mode == "X" and held.mode == "X":
+                    pass  # X re-entry keeps X
+            else:
+                self._holders[owner] = _Hold(mode=mode)
+        self._stats.incr("latch.acquisitions")
+        self._stats.incr(f"latch.acquisitions.{mode}")
+        self._stats.record_latch(owner, self.name, mode)
+
+    def release(self) -> None:
+        owner = self._owner()
+        with self._cond:
+            held = self._holders.get(owner)
+            if held is None:
+                raise LatchError(f"latch {self.name!r} released by non-holder")
+            held.count -= 1
+            if held.count == 0:
+                del self._holders[owner]
+            self._cond.notify_all()
+
+    def instant(self, mode: str, conditional: bool = False, timeout: float = 30.0) -> None:
+        """Instant-duration acquisition: wait until grantable, then let go.
+
+        Used on the tree latch to wait out an in-progress SMO (§2.1).
+        """
+        self.acquire(mode, conditional=conditional, timeout=timeout)
+        self.release()
+        self._stats.incr("latch.instant")
+
+    # -- introspection --------------------------------------------------------
+
+    def held_by_me(self) -> str | None:
+        """Mode this thread holds the latch in, or None."""
+        with self._cond:
+            held = self._holders.get(self._owner())
+            return held.mode if held else None
+
+    def is_held(self) -> bool:
+        with self._cond:
+            return bool(self._holders)
+
+
+class LatchManager:
+    """Factory/registry for page latches and per-index tree latches.
+
+    Also tracks, per thread, how many *page* latches are held so the
+    paper's "not more than 2 index pages are held latched
+    simultaneously" invariant (§2.1) can be asserted in debug mode.
+    """
+
+    def __init__(
+        self,
+        stats: StatsRegistry | None = None,
+        debug_max_page_latches: int | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self._stats = stats or StatsRegistry(enabled=False)
+        self._mutex = threading.Lock()
+        self._page_latches: dict[int, Latch] = {}
+        self._tree_latches: dict[int, Latch] = {}
+        self._held_pages = threading.local()
+        self._debug_max = debug_max_page_latches
+        self.timeout = timeout
+
+    def page_latch(self, page_id: int) -> Latch:
+        with self._mutex:
+            latch = self._page_latches.get(page_id)
+            if latch is None:
+                latch = Latch(("page", page_id), self._stats)
+                self._page_latches[page_id] = latch
+            return latch
+
+    def tree_latch(self, index_id: int) -> Latch:
+        with self._mutex:
+            latch = self._tree_latches.get(index_id)
+            if latch is None:
+                latch = Latch(("tree", index_id), self._stats)
+                self._tree_latches[index_id] = latch
+            return latch
+
+    # -- page-latch helpers that maintain the ≤2 invariant ------------------------
+
+    def _held_set(self) -> set[int]:
+        held = getattr(self._held_pages, "pages", None)
+        if held is None:
+            held = set()
+            self._held_pages.pages = held
+        return held
+
+    def latch_page(
+        self, page_id: int, mode: str, conditional: bool = False
+    ) -> Latch:
+        latch = self.page_latch(page_id)
+        latch.acquire(mode, conditional=conditional, timeout=self.timeout)
+        held = self._held_set()
+        held.add(page_id)
+        if self._debug_max is not None and len(held) > self._debug_max:
+            latch.release()
+            held.discard(page_id)
+            raise LatchError(
+                f"protocol violation: {len(held) + 1} page latches held at once "
+                f"(limit {self._debug_max}); held={sorted(held | {page_id})}"
+            )
+        return latch
+
+    def unlatch_page(self, page_id: int) -> None:
+        self.page_latch(page_id).release()
+        self._held_set().discard(page_id)
+
+    def pages_held(self) -> set[int]:
+        return set(self._held_set())
+
+    def reset_thread_state(self) -> None:
+        """Drop this thread's held-page bookkeeping (crash cleanup)."""
+        self._held_pages.pages = set()

@@ -1,0 +1,17 @@
+"""Maintainer tooling: structural and log dumps, stats summaries."""
+
+from repro.tools.inspect import (
+    dump_log,
+    dump_transaction,
+    dump_tree,
+    format_record,
+    summarize_stats,
+)
+
+__all__ = [
+    "dump_log",
+    "dump_transaction",
+    "dump_tree",
+    "format_record",
+    "summarize_stats",
+]

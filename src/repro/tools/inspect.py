@@ -1,0 +1,159 @@
+"""Human-readable dumps of a database's internals.
+
+The inspection helpers a maintainer reaches for when debugging a
+reproduction or a test failure:
+
+- :func:`dump_tree` — the B+-tree's structure, high keys, chains, and
+  bits, as indented text;
+- :func:`dump_log` — the log, one record per line, optionally filtered
+  by transaction or page;
+- :func:`dump_transaction` — one transaction's records with its
+  PrevLSN/UndoNxtLSN chain annotated;
+- :func:`summarize_stats` — the counter groups the paper's measures
+  map onto (locks, latches, I/O, recovery work).
+
+All helpers return strings; none mutate anything (pages are fixed
+unlatched — quiesce first, as with ``BTree.check_structure``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.btree.node import IndexPage
+from repro.btree.tree import BTree
+from repro.wal.records import RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+def _key_repr(key, max_bytes: int = 12) -> str:
+    value = key.value
+    if len(value) > max_bytes:
+        value = value[:max_bytes] + b"..."
+    return f"{value!r}@{key.rid.page_id}:{key.rid.slot}"
+
+
+def dump_tree(tree: BTree, max_keys_per_page: int = 4) -> str:
+    """Indented structural dump of one index."""
+    db = tree.ctx
+    lines = [f"index {tree.name!r} (id={tree.index_id}, root={tree.root_page_id})"]
+
+    def walk(page_id: int, depth: int) -> None:
+        page = db.buffer.fix(page_id)
+        try:
+            if not isinstance(page, IndexPage):
+                lines.append("  " * depth + f"page {page_id}: NOT AN INDEX PAGE")
+                return
+            bits = "".join(
+                flag for flag, on in (("S", page.sm_bit), ("D", page.delete_bit)) if on
+            )
+            flags = f" bits={bits}" if bits else ""
+            if page.is_leaf:
+                shown = ", ".join(_key_repr(k) for k in page.keys[:max_keys_per_page])
+                more = (
+                    f" ... +{len(page.keys) - max_keys_per_page}"
+                    if len(page.keys) > max_keys_per_page
+                    else ""
+                )
+                lines.append(
+                    "  " * depth
+                    + f"leaf {page_id} lsn={page.page_lsn} n={len(page.keys)} "
+                    f"prev={page.prev_leaf} next={page.next_leaf}{flags} "
+                    f"[{shown}{more}]"
+                )
+                children: list[int] = []
+            else:
+                bounds = ", ".join(
+                    f"{child}<{_key_repr(high) if high else 'inf'}"
+                    for child, high in zip(page.child_ids, page.high_keys)
+                )
+                lines.append(
+                    "  " * depth
+                    + f"nonleaf {page_id} lsn={page.page_lsn} level={page.level}"
+                    f"{flags} [{bounds}]"
+                )
+                children = list(page.child_ids)
+        finally:
+            db.buffer.unfix(page_id)
+        for child in children:
+            walk(child, depth + 1)
+
+    walk(tree.root_page_id, 1)
+    return "\n".join(lines)
+
+
+def format_record(record) -> str:
+    """One log record on one line."""
+    bits = [f"lsn={record.lsn:>8}", f"txn={record.txn_id:<4}", record.kind.value]
+    if record.op:
+        bits.append(f"{record.rm}.{record.op}")
+    if record.page_id is not None:
+        bits.append(f"page={record.page_id}")
+    bits.append(f"prev={record.prev_lsn}")
+    if record.undo_next_lsn is not None:
+        bits.append(f"undo_next={record.undo_next_lsn}")
+    if not record.undoable and record.kind is RecordKind.UPDATE:
+        bits.append("redo-only")
+    return " ".join(bits)
+
+
+def dump_log(
+    db: "Database",
+    from_lsn: int = 1,
+    txn_id: int | None = None,
+    page_id: int | None = None,
+    limit: int | None = None,
+) -> str:
+    """The log, one record per line, optionally filtered."""
+    lines = []
+    for record in db.log.records(from_lsn):
+        if txn_id is not None and record.txn_id != txn_id:
+            continue
+        if page_id is not None and record.page_id != page_id:
+            continue
+        lines.append(format_record(record))
+        if limit is not None and len(lines) >= limit:
+            lines.append("... (truncated)")
+            break
+    return "\n".join(lines) if lines else "(no matching records)"
+
+
+def dump_transaction(db: "Database", txn_id: int) -> str:
+    """One transaction's records with its backward chain annotated."""
+    records = [r for r in db.log.records() if r.txn_id == txn_id]
+    if not records:
+        return f"(no records for transaction {txn_id})"
+    lines = [f"transaction {txn_id}: {len(records)} records"]
+    for record in records:
+        marker = "  "
+        if record.kind is RecordKind.DUMMY_CLR:
+            marker = "⤶ "  # chain surgery: rollback jumps from here
+        elif record.kind is RecordKind.CLR:
+            marker = "↩ "
+        lines.append(marker + format_record(record))
+    return "\n".join(lines)
+
+
+_STAT_GROUPS = (
+    ("locks", "lock."),
+    ("latches", "latch."),
+    ("buffer / I/O", "buffer."),
+    ("disk", "disk."),
+    ("log", "log."),
+    ("btree", "btree."),
+    ("heap", "heap."),
+    ("transactions", "txn."),
+    ("recovery", "recovery."),
+)
+
+
+def summarize_stats(db: "Database") -> str:
+    """Counters grouped by subsystem (the paper's measures live here)."""
+    sections = []
+    for title, prefix in _STAT_GROUPS:
+        body = db.stats.format_table(prefix)
+        if body:
+            sections.append(f"-- {title} --\n{body}")
+    return "\n\n".join(sections) if sections else "(no counters)"

@@ -1,0 +1,197 @@
+"""Transaction manager: begin/commit/rollback, savepoints, NTAs.
+
+Rollback walks the transaction's backward chain writing CLRs (via the
+resource managers), honouring the two chain-surgery rules of ARIES
+(§1.2):
+
+- undoing a non-CLR writes a CLR whose ``undo_next_lsn`` is the undone
+  record's ``prev_lsn``;
+- encountering a CLR (including the dummy CLR that seals a nested top
+  action) *jumps* to its ``undo_next_lsn`` — which is how a completed
+  SMO is skipped over during rollback (Figures 9 and 10).
+
+Commit forces the log (the only synchronous log I/O in the normal
+path); data pages are never forced (no-force) and may have been stolen.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.common.errors import TransactionNotActiveError
+from repro.common.stats import StatsRegistry
+from repro.txn.rm import ResourceManagerRegistry
+from repro.txn.transaction import Transaction, TxnStatus
+from repro.wal.log import LogManager
+from repro.wal.records import NULL_LSN, LogRecord, RecordKind, dummy_clr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+    from repro.locks.manager import LockManager
+
+
+class TransactionManager:
+    """Owns the transaction table and drives commit/rollback."""
+
+    def __init__(
+        self,
+        log: LogManager,
+        locks: "LockManager",
+        registry: ResourceManagerRegistry,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self._log = log
+        self._locks = locks
+        self._registry = registry
+        self._stats = stats or StatsRegistry(enabled=False)
+        self._mutex = threading.Lock()
+        self._next_txn_id = 1
+        self._table: dict[int, Transaction] = {}
+
+    # -- transaction table ---------------------------------------------------
+
+    def begin(self) -> Transaction:
+        with self._mutex:
+            txn = Transaction(txn_id=self._next_txn_id)
+            self._next_txn_id += 1
+            self._table[txn.txn_id] = txn
+        self._stats.incr("txn.begun")
+        return txn
+
+    def get(self, txn_id: int) -> Transaction | None:
+        with self._mutex:
+            return self._table.get(txn_id)
+
+    def active_transactions(self) -> list[Transaction]:
+        with self._mutex:
+            return [t for t in self._table.values() if t.is_active]
+
+    def table_snapshot(self) -> dict[int, Transaction]:
+        with self._mutex:
+            return dict(self._table)
+
+    def adopt(self, txn: Transaction) -> None:
+        """Install a transaction reconstructed by restart analysis."""
+        with self._mutex:
+            self._table[txn.txn_id] = txn
+            if txn.txn_id >= self._next_txn_id:
+                self._next_txn_id = txn.txn_id + 1
+
+    def forget(self, txn_id: int) -> None:
+        with self._mutex:
+            self._table.pop(txn_id, None)
+
+    def adopt_floor(self, txn_id: int) -> None:
+        """Ensure future transaction ids start at or above ``txn_id``
+        (no id reuse across a restart)."""
+        with self._mutex:
+            if txn_id > self._next_txn_id:
+                self._next_txn_id = txn_id
+
+    # -- logging helper ---------------------------------------------------------
+
+    def log_for(self, txn: Transaction, record: LogRecord) -> int:
+        """Chain ``record`` onto ``txn`` and append it to the log."""
+        record.txn_id = txn.txn_id
+        record.prev_lsn = txn.last_lsn
+        lsn = self._log.append(record)
+        txn.note_logged(lsn)
+        return lsn
+
+    # -- commit --------------------------------------------------------------------
+
+    def commit(self, txn: Transaction) -> None:
+        if not txn.is_active:
+            raise TransactionNotActiveError(f"cannot commit {txn!r}")
+        commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id)
+        self.log_for(txn, commit)
+        self._log.force(txn.last_lsn)
+        txn.status = TxnStatus.COMMITTED
+        released = self._locks.release_all(txn.txn_id)
+        self._stats.incr("txn.locks_released_at_commit", released)
+        end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id, undoable=False)
+        self.log_for(txn, end)
+        txn.status = TxnStatus.ENDED
+        self.forget(txn.txn_id)
+        self._stats.incr("txn.committed")
+
+    # -- rollback --------------------------------------------------------------------
+
+    def rollback(self, ctx: "Database", txn: Transaction) -> None:
+        """Total rollback."""
+        if not txn.is_active:
+            raise TransactionNotActiveError(f"cannot rollback {txn!r}")
+        rollback = LogRecord(
+            kind=RecordKind.ROLLBACK, txn_id=txn.txn_id, undoable=False
+        )
+        self.log_for(txn, rollback)
+        txn.status = TxnStatus.ROLLING_BACK
+        txn.in_rollback = True
+        try:
+            self.undo_to(ctx, txn, NULL_LSN)
+        finally:
+            txn.in_rollback = False
+        txn.status = TxnStatus.ABORTED
+        released = self._locks.release_all(txn.txn_id)
+        self._stats.incr("txn.locks_released_at_rollback", released)
+        end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id, undoable=False)
+        self.log_for(txn, end)
+        txn.status = TxnStatus.ENDED
+        self.forget(txn.txn_id)
+        self._stats.incr("txn.rolled_back")
+
+    def savepoint(self, txn: Transaction, name: str) -> int:
+        """Establish a savepoint at the transaction's current position."""
+        txn.savepoints[name] = txn.last_lsn
+        return txn.last_lsn
+
+    def rollback_to_savepoint(self, ctx: "Database", txn: Transaction, name: str) -> None:
+        """Partial rollback.  Locks acquired since the savepoint are
+        retained (per ARIES, releasing them would jeopardize repeatable
+        read for data the transaction may have read)."""
+        if not txn.is_active:
+            raise TransactionNotActiveError(f"cannot partially rollback {txn!r}")
+        save_lsn = txn.savepoints[name]
+        txn.in_rollback = True
+        try:
+            self.undo_to(ctx, txn, save_lsn)
+        finally:
+            txn.in_rollback = False
+        self._stats.incr("txn.partial_rollbacks")
+
+    def undo_to(self, ctx: "Database", txn: Transaction, stop_lsn: int) -> None:
+        """Walk the undo chain back to (exclusive) ``stop_lsn``."""
+        lsn = txn.undo_next_lsn
+        while lsn > stop_lsn:
+            record = self._log.read(lsn)
+            if record.is_clr:
+                lsn = record.undo_next_lsn or NULL_LSN
+            elif record.kind is RecordKind.UPDATE and record.undoable:
+                self._registry.undo(ctx, txn, record)
+                self._stats.incr("txn.records_undone")
+                lsn = record.prev_lsn
+            else:
+                lsn = record.prev_lsn
+            txn.undo_next_lsn = lsn
+
+    # -- nested top actions ------------------------------------------------------------
+
+    def begin_nta(self, txn: Transaction) -> None:
+        """Remember the LSN the eventual dummy CLR must point back to
+        (Figure 8: 'Remember LSN of last log record of transaction')."""
+        txn.nta_stack.append(txn.last_lsn)
+
+    def end_nta(self, txn: Transaction) -> int:
+        """Seal the innermost nested top action with a dummy CLR."""
+        start_lsn = txn.nta_stack.pop()
+        record = dummy_clr(txn.txn_id, undo_next_lsn=start_lsn)
+        lsn = self.log_for(txn, record)
+        self._stats.incr("txn.nta_completed")
+        return lsn
+
+    def abandon_nta(self, txn: Transaction) -> None:
+        """Drop the innermost NTA marker without sealing it (the NTA was
+        interrupted; its records remain undoable, which is the desired
+        outcome per §1.2)."""
+        txn.nta_stack.pop()

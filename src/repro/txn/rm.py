@@ -1,0 +1,65 @@
+"""Resource-manager dispatch.
+
+The log manager is oblivious to record semantics; each *resource
+manager* (the heap, the B+-tree) registers handlers for its own
+``(rm, op)`` records:
+
+- ``redo(ctx, record)`` — reapply the change page-oriented during the
+  redo pass (and for CLRs).  Must be idempotent under the page-LSN
+  test, which the redo driver performs before calling.
+- ``undo(ctx, txn, record)`` — roll back one update during normal or
+  restart undo.  The handler decides page-oriented vs. logical undo,
+  applies the inverse change, and writes the CLR(s) itself.
+
+``ctx`` is the owning :class:`repro.db.Database`; handlers reach the
+buffer pool, latches, and index objects through it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.common.errors import RecoveryError
+from repro.wal.records import LogRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db import Database
+    from repro.txn.transaction import Transaction
+
+
+class ResourceManager(Protocol):
+    """Interface each resource manager implements."""
+
+    def apply_redo(self, ctx: "Database", page: object, record: LogRecord) -> None:
+        """Reapply ``record``'s change to the already-fixed ``page``.
+
+        The redo driver has verified ``page.page_lsn < record.lsn`` and
+        stamps the page LSN afterwards; this method only mutates
+        content."""
+
+    def make_shell(self, record: LogRecord) -> object:
+        """Build an empty page object for a page that does not exist
+        yet (its creating record is being redone, or a later record
+        carries the full state)."""
+
+    def undo(self, ctx: "Database", txn: "Transaction", record: LogRecord) -> None:
+        """Undo ``record``, writing compensation log records."""
+
+
+class ResourceManagerRegistry:
+    """Maps rm tags to their handlers."""
+
+    def __init__(self) -> None:
+        self._managers: dict[str, ResourceManager] = {}
+
+    def register(self, rm: str, manager: ResourceManager) -> None:
+        self._managers[rm] = manager
+
+    def get(self, rm: str) -> ResourceManager:
+        manager = self._managers.get(rm)
+        if manager is None:
+            raise RecoveryError(f"no resource manager registered for {rm!r}")
+        return manager
+
+    def undo(self, ctx: "Database", txn: "Transaction", record: LogRecord) -> None:
+        self.get(record.rm).undo(ctx, txn, record)

@@ -1,0 +1,199 @@
+"""The write-ahead log manager.
+
+The log is a single append-only byte stream.  An LSN is the byte offset
+of a record in that stream plus one (so ``NULL_LSN == 0`` is never a
+valid record address), which makes LSNs monotonically increasing — the
+property ARIES page-state comparison relies on (§1.2).
+
+Crash semantics: the volatile tail (records appended but not yet
+forced) vanishes on :meth:`crash`.  The *master record* — the LSN of
+the last complete checkpoint's begin record — is stored in a separate
+stable cell and written atomically, like the master record on a real
+log device.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro.common.errors import LSNOutOfRangeError
+from repro.common.stats import StatsRegistry
+from repro.wal.records import NULL_LSN, LogRecord
+
+
+class LogManager:
+    """Append-only WAL with explicit force and crash simulation."""
+
+    def __init__(self, stats: StatsRegistry | None = None) -> None:
+        self._stats = stats or StatsRegistry(enabled=False)
+        self._mutex = threading.Lock()
+        self._buffer = bytearray()
+        self._flushed_len = 0
+        self._records: dict[int, LogRecord] = {}
+        self._master_lsn = NULL_LSN
+        self._append_count = 0
+        #: Bytes dropped from the front by truncation.  LSNs are offsets
+        #: into the *whole* stream ever written, so they stay stable.
+        self._truncated = 0
+
+    # -- append / force ----------------------------------------------------
+
+    def append(self, record: LogRecord) -> int:
+        """Append ``record``, assign and return its LSN.
+
+        The record is *not* durable until a subsequent :meth:`force`
+        covers it.
+        """
+        with self._mutex:
+            lsn = self._truncated + len(self._buffer) + 1
+            record.lsn = lsn
+            self._buffer += record.to_bytes()
+            self._records[lsn] = record
+            self._append_count += 1
+        self._stats.incr("log.records_written")
+        self._stats.incr(f"log.records.{record.kind.value}")
+        return lsn
+
+    def force(self, lsn: int | None = None) -> None:
+        """Make the log durable up to and including ``lsn`` (or all of it).
+
+        Counts one synchronous log I/O if any bytes actually move.
+        """
+        with self._mutex:
+            if lsn is None or lsn == NULL_LSN:
+                target = self._truncated + len(self._buffer)
+            else:
+                record = self._records.get(lsn)
+                if record is None:
+                    # The record may predate this process (recovered log);
+                    # forcing to at least ``lsn`` bytes is always safe.
+                    target = min(lsn, self._truncated + len(self._buffer))
+                else:
+                    target = lsn - 1 + len(record.to_bytes())
+            if target > self._flushed_len:
+                self._flushed_len = target
+                moved = True
+            else:
+                moved = False
+        if moved:
+            self._stats.incr("log.sync_forces")
+
+    @property
+    def flushed_lsn(self) -> int:
+        """LSN boundary of durability: records with ``lsn`` at or below
+        the last fully flushed record survive a crash."""
+        with self._mutex:
+            return self._flushed_len
+
+    @property
+    def records_appended(self) -> int:
+        """Count of records appended over this manager's lifetime
+        (drives interval-based auto-checkpointing)."""
+        with self._mutex:
+            return self._append_count
+
+    @property
+    def end_lsn(self) -> int:
+        """LSN that the *next* appended record will receive."""
+        with self._mutex:
+            return self._truncated + len(self._buffer) + 1
+
+    @property
+    def truncation_point(self) -> int:
+        """Smallest LSN still present (1 if never truncated)."""
+        with self._mutex:
+            return self._truncated + 1
+
+    # -- master record -------------------------------------------------------
+
+    def write_master(self, checkpoint_begin_lsn: int) -> None:
+        """Atomically record the last complete checkpoint's begin LSN."""
+        with self._mutex:
+            self._master_lsn = checkpoint_begin_lsn
+        self._stats.incr("log.master_writes")
+
+    @property
+    def master_lsn(self) -> int:
+        with self._mutex:
+            return self._master_lsn
+
+    # -- reading -------------------------------------------------------------
+
+    def read(self, lsn: int) -> LogRecord:
+        """Return the record at ``lsn``."""
+        with self._mutex:
+            record = self._records.get(lsn)
+            if record is not None:
+                return record
+            buffer = bytes(self._buffer)
+            truncated = self._truncated
+        if lsn <= truncated:
+            raise LSNOutOfRangeError(f"LSN {lsn} was truncated away")
+        if not 1 <= lsn <= truncated + len(buffer):
+            raise LSNOutOfRangeError(
+                f"LSN {lsn} beyond log end {truncated + len(buffer)}"
+            )
+        record, _ = LogRecord.from_bytes(buffer, lsn - 1 - truncated)
+        record.lsn = lsn
+        with self._mutex:
+            self._records.setdefault(lsn, record)
+        return record
+
+    def records(self, from_lsn: int = 1) -> Iterator[LogRecord]:
+        """Iterate records in LSN order starting at ``from_lsn``.
+
+        Iterates a snapshot of the current log contents; records
+        appended concurrently are not included.
+        """
+        with self._mutex:
+            buffer = bytes(self._buffer)
+            truncated = self._truncated
+        offset = max(from_lsn - 1 - truncated, 0)
+        while offset < len(buffer):
+            record, next_offset = LogRecord.from_bytes(buffer, offset)
+            record.lsn = truncated + offset + 1
+            yield record
+            offset = next_offset
+
+    def tail(self, count: int) -> list[LogRecord]:
+        """The last ``count`` records (for log-sequence assertions)."""
+        everything = list(self.records())
+        return everything[-count:]
+
+    # -- truncation ---------------------------------------------------------
+
+    def truncate_prefix(self, lsn: int) -> int:
+        """Discard log space before ``lsn`` (exclusive).
+
+        The caller (``Database.trim_log``) must have established that
+        no recovery pass can need the discarded prefix: ``lsn`` at or
+        below the master checkpoint, every dirty page's recLSN, and
+        every active transaction's first record.  Returns the number of
+        bytes reclaimed.  Only durable (forced) space is reclaimable.
+        """
+        with self._mutex:
+            target = min(lsn - 1, self._flushed_len)
+            drop = target - self._truncated
+            if drop <= 0:
+                return 0
+            self._buffer = self._buffer[drop:]
+            self._truncated = target
+            self._records = {
+                l: r for l, r in self._records.items() if l > target
+            }
+        self._stats.incr("log.bytes_reclaimed", drop)
+        return drop
+
+    # -- crash simulation -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Discard the volatile tail; only forced bytes survive."""
+        with self._mutex:
+            keep = self._flushed_len - self._truncated
+            self._buffer = self._buffer[:keep]
+            survivors = {
+                lsn: rec for lsn, rec in self._records.items() if lsn <= self._flushed_len
+            }
+            self._records = survivors
+        self._stats.incr("log.crashes")

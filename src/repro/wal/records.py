@@ -1,0 +1,184 @@
+"""Log record types.
+
+One generic :class:`LogRecord` class carries every record; behaviour is
+dispatched on ``(rm, op)`` through the resource-manager registry
+(:mod:`repro.txn.rm`).  This mirrors real ARIES implementations, where
+the log manager is oblivious to record semantics and each resource
+manager (here: the heap and the B+-tree) interprets its own payloads.
+
+Record categories (``kind``):
+
+- ``UPDATE`` — undo-redo record written during forward processing *and*
+  during the SMOs performed as part of undo (§3's documented exception:
+  undo-time SMOs are logged with regular records so they themselves can
+  be undone after a crash).
+- ``CLR`` — redo-only compensation record written when an update is
+  undone.  Carries ``undo_next_lsn`` pointing at the predecessor of the
+  record just undone.
+- ``DUMMY_CLR`` — the nested-top-action terminator (§1.2, Figure 9/10).
+  Pure chain surgery: no page, no redo work.
+- ``COMMIT`` / ``ROLLBACK`` / ``END`` — transaction state transitions.
+- ``CKPT_BEGIN`` / ``CKPT_END`` — fuzzy checkpoint pair; the end record
+  carries copies of the transaction table and dirty page table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import WALError
+from repro.wal.serialization import decode_value, encode_value
+
+NULL_LSN = 0
+"""LSN value meaning "none"; real LSNs start at 1."""
+
+
+class RecordKind(enum.Enum):
+    UPDATE = "update"
+    CLR = "clr"
+    DUMMY_CLR = "dummy_clr"
+    COMMIT = "commit"
+    ROLLBACK = "rollback"
+    END = "end"
+    CKPT_BEGIN = "ckpt_begin"
+    CKPT_END = "ckpt_end"
+
+
+#: Resource manager tags.
+RM_HEAP = "heap"
+RM_BTREE = "btree"
+RM_TXN = "txn"
+
+
+@dataclass
+class LogRecord:
+    """A single write-ahead log record.
+
+    ``lsn`` is assigned by the log manager at append time and equals the
+    record's byte offset in the log stream (plus one, so LSN 0 can mean
+    "null"), exactly as in classic ARIES implementations.
+    """
+
+    kind: RecordKind
+    txn_id: int
+    prev_lsn: int = NULL_LSN
+    rm: str = RM_TXN
+    op: str = ""
+    page_id: int | None = None
+    payload: dict[str, Any] = field(default_factory=dict)
+    undo_next_lsn: int | None = None
+    undoable: bool = True
+    lsn: int = NULL_LSN
+
+    # -- classification helpers -------------------------------------------
+
+    @property
+    def is_redoable(self) -> bool:
+        """Does this record describe a page change to reapply during redo?"""
+        return (
+            self.kind in (RecordKind.UPDATE, RecordKind.CLR)
+            and self.page_id is not None
+        )
+
+    @property
+    def is_clr(self) -> bool:
+        return self.kind in (RecordKind.CLR, RecordKind.DUMMY_CLR)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        body = {
+            "kind": self.kind.value,
+            "txn_id": self.txn_id,
+            "prev_lsn": self.prev_lsn,
+            "rm": self.rm,
+            "op": self.op,
+            "page_id": self.page_id,
+            "payload": self.payload,
+            "undo_next_lsn": self.undo_next_lsn,
+            "undoable": self.undoable,
+        }
+        return encode_value(body)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, offset: int = 0) -> tuple["LogRecord", int]:
+        body, next_offset = decode_value(raw, offset)
+        if not isinstance(body, dict):
+            raise WALError("malformed log record")
+        record = cls(
+            kind=RecordKind(body["kind"]),
+            txn_id=body["txn_id"],
+            prev_lsn=body["prev_lsn"],
+            rm=body["rm"],
+            op=body["op"],
+            page_id=body["page_id"],
+            payload=body["payload"],
+            undo_next_lsn=body["undo_next_lsn"],
+            undoable=body["undoable"],
+        )
+        return record, next_offset
+
+    def __repr__(self) -> str:
+        bits = [f"lsn={self.lsn}", self.kind.value, f"txn={self.txn_id}"]
+        if self.op:
+            bits.append(f"{self.rm}.{self.op}")
+        if self.page_id is not None:
+            bits.append(f"page={self.page_id}")
+        if self.undo_next_lsn is not None:
+            bits.append(f"undo_next={self.undo_next_lsn}")
+        return f"<LogRecord {' '.join(bits)}>"
+
+
+def update_record(
+    txn_id: int,
+    rm: str,
+    op: str,
+    page_id: int,
+    payload: dict[str, Any],
+    undoable: bool = True,
+) -> LogRecord:
+    """Build a forward-processing undo-redo update record."""
+    return LogRecord(
+        kind=RecordKind.UPDATE,
+        txn_id=txn_id,
+        rm=rm,
+        op=op,
+        page_id=page_id,
+        payload=payload,
+        undoable=undoable,
+    )
+
+
+def clr_record(
+    txn_id: int,
+    rm: str,
+    op: str,
+    page_id: int,
+    payload: dict[str, Any],
+    undo_next_lsn: int,
+) -> LogRecord:
+    """Build a compensation record for the undo of one update."""
+    return LogRecord(
+        kind=RecordKind.CLR,
+        txn_id=txn_id,
+        rm=rm,
+        op=op,
+        page_id=page_id,
+        payload=payload,
+        undo_next_lsn=undo_next_lsn,
+        undoable=False,
+    )
+
+
+def dummy_clr(txn_id: int, undo_next_lsn: int) -> LogRecord:
+    """Build the dummy CLR that terminates a nested top action."""
+    return LogRecord(
+        kind=RecordKind.DUMMY_CLR,
+        txn_id=txn_id,
+        rm=RM_TXN,
+        op="nta_end",
+        undo_next_lsn=undo_next_lsn,
+        undoable=False,
+    )

@@ -1,0 +1,149 @@
+"""Nonunique indexes: duplicates as first-class citizens.
+
+The paper's §1 motivation for locking *keys* rather than key values is
+exactly the nonunique case ("the latter makes a significant difference
+in the case of nonunique indexes"): these tests pin down duplicate
+ordering, cross-page duplicate runs, per-duplicate deletion, and the
+KVL-vs-ARIES/IM lock-granularity difference on duplicates.
+"""
+
+import pytest
+
+from repro.common.errors import LockTimeoutError
+from tests.conftest import build_db
+
+
+def dup_db(duplicates=30, **overrides):
+    db = build_db(page_size=768, **overrides)
+    db.create_table("t")
+    db.create_index("t", "by_tag", column="tag", unique=False)
+    txn = db.begin()
+    for i in range(duplicates):
+        db.insert(txn, "t", {"tag": "hot", "n": i})
+    for i in range(10):
+        db.insert(txn, "t", {"tag": "cold", "n": 100 + i})
+    db.commit(txn)
+    return db
+
+
+class TestDuplicates:
+    def test_duplicates_ordered_by_rid(self):
+        db = dup_db()
+        tree = db.tables["t"].indexes["by_tag"]
+        keys = tree.all_keys()
+        assert keys == sorted(keys)  # (value, RID) total order
+
+    def test_duplicate_run_spans_pages(self):
+        """Enough duplicates of one value to overflow a leaf: the run
+        must split and remain scannable in full."""
+        db = dup_db(duplicates=60)
+        assert db.stats.get("btree.page_splits") > 0
+        txn = db.begin()
+        hot = list(db.scan(txn, "t", "by_tag", low="hot", high="hot"))
+        db.commit(txn)
+        assert len(hot) == 60
+        assert db.verify_indexes() == {}
+
+    def test_delete_one_of_many(self):
+        db = dup_db()
+        txn = db.begin()
+        hits = list(db.scan(txn, "t", "by_tag", low="hot", high="hot"))
+        victim_rid = hits[7][0]
+        db.tables["t"].delete(txn, victim_rid)
+        db.commit(txn)
+        check = db.begin()
+        remaining = list(db.scan(check, "t", "by_tag", low="hot", high="hot"))
+        db.commit(check)
+        assert len(remaining) == 29
+        assert all(rid != victim_rid for rid, _ in remaining)
+
+    def test_delete_all_duplicates(self):
+        db = dup_db()
+        txn = db.begin()
+        for rid, _ in list(db.scan(txn, "t", "by_tag", low="hot", high="hot")):
+            db.tables["t"].delete(txn, rid)
+        db.commit(txn)
+        check = db.begin()
+        assert list(db.scan(check, "t", "by_tag", low="hot", high="hot")) == []
+        assert len(list(db.scan(check, "t", "by_tag", low="cold", high="cold"))) == 10
+        db.commit(check)
+        assert db.verify_indexes() == {}
+
+    def test_rollback_restores_duplicates(self):
+        db = dup_db()
+        txn = db.begin()
+        for rid, _ in list(db.scan(txn, "t", "by_tag", low="hot", high="hot")):
+            db.tables["t"].delete(txn, rid)
+        db.rollback(txn)
+        check = db.begin()
+        assert len(list(db.scan(check, "t", "by_tag", low="hot", high="hot"))) == 30
+        db.commit(check)
+
+    def test_crash_recovery_with_duplicates(self):
+        db = dup_db(duplicates=60)
+        txn = db.begin()
+        db.insert(txn, "t", {"tag": "hot", "n": 999})
+        db.log.force()
+        db.crash()
+        db.restart()
+        check = db.begin()
+        assert len(list(db.scan(check, "t", "by_tag", low="hot", high="hot"))) == 60
+        db.commit(check)
+        assert db.verify_indexes() == {}
+
+
+class TestDuplicateLocking:
+    def test_data_only_locks_duplicates_independently(self):
+        """Two transactions can delete two different 'hot' rows
+        concurrently under data-only locking: each key's lock is its
+        own record."""
+        db = dup_db()
+        txn = db.begin()
+        hits = list(db.scan(txn, "t", "by_tag", low="hot", high="hot"))
+        db.commit(txn)
+        rid_a, rid_b = hits[3][0], hits[20][0]
+
+        t1 = db.begin()
+        db.tables["t"].delete(t1, rid_a)
+        t2 = db.begin()
+        db.tables["t"].delete(t2, rid_b)  # no conflict with t1
+        db.commit(t1)
+        db.commit(t2)
+
+    def test_kvl_serializes_same_value_deletes(self):
+        """Under ARIES/KVL all duplicates share one value lock, so the
+        second deleter blocks — the §1 concurrency criticism."""
+        db = dup_db(lock_timeout_seconds=0.5)
+        # Rebuild the index under KVL.
+        table = db.tables["t"]
+        del table.indexes["by_tag"]
+        db.create_index("t", "by_tag_kvl", column="tag", protocol="kvl")
+        txn = db.begin()
+        hits = list(db.scan(txn, "t", "by_tag_kvl", low="hot", high="hot"))
+        db.commit(txn)
+        rid_a, rid_b = hits[3][0], hits[20][0]
+
+        t1 = db.begin()
+        db.tables["t"].delete(t1, rid_a)
+        t2 = db.begin()
+        with pytest.raises(LockTimeoutError):
+            db.tables["t"].delete(t2, rid_b)
+        db.rollback(t2)
+        db.commit(t1)
+
+
+class TestMixedValueSizes:
+    def test_variable_width_string_values(self):
+        db = build_db(page_size=768)
+        db.create_table("t")
+        db.create_index("t", "by_s", column="s", unique=False)
+        txn = db.begin()
+        values = [("x" * (1 + i % 40)) + str(i) for i in range(80)]
+        for v in values:
+            db.insert(txn, "t", {"s": v})
+        db.commit(txn)
+        check = db.begin()
+        scanned = [r["s"] for _, r in db.scan(check, "t", "by_s")]
+        db.commit(check)
+        assert scanned == sorted(values)
+        assert db.verify_indexes() == {}

@@ -1,0 +1,217 @@
+"""Functional behaviour of fetch / fetch-next / insert / delete."""
+
+import pytest
+
+from repro.btree.fetch import Cursor, index_fetch, index_fetch_next
+from repro.common.errors import KeyNotFoundError, UniqueKeyViolationError
+from repro.common.keys import encode_key
+from tests.conftest import build_db, populate
+
+
+@pytest.fixture
+def db():
+    database = build_db()
+    database.create_table("t")
+    database.create_index("t", "by_id", column="id", unique=True)
+    populate(database, range(0, 100, 10))  # 0,10,...,90
+    return database
+
+
+def tree_of(db):
+    return db.tables["t"].indexes["by_id"]
+
+
+class TestFetch:
+    def test_exact_hit(self, db):
+        txn = db.begin()
+        result = index_fetch(tree_of(db), txn, encode_key(30), "=")
+        db.commit(txn)
+        assert result.found
+
+    def test_exact_miss_returns_next(self, db):
+        txn = db.begin()
+        result = index_fetch(tree_of(db), txn, encode_key(35), "=")
+        db.commit(txn)
+        assert not result.found
+        assert result.key is not None  # the locked next key (40)
+
+    def test_gte(self, db):
+        txn = db.begin()
+        result = index_fetch(tree_of(db), txn, encode_key(35), ">=")
+        db.commit(txn)
+        assert result.found
+
+    def test_gt_skips_equal(self, db):
+        from repro.common.keys import decode_int_key
+
+        txn = db.begin()
+        result = index_fetch(tree_of(db), txn, encode_key(30), ">")
+        db.commit(txn)
+        assert decode_int_key(result.key.value) == 40
+
+    def test_eof(self, db):
+        txn = db.begin()
+        result = index_fetch(tree_of(db), txn, encode_key(1000), ">=")
+        db.commit(txn)
+        assert result.eof and not result.found
+
+    def test_fetch_on_empty_index(self):
+        database = build_db()
+        database.create_table("t")
+        database.create_index("t", "by_id", column="id", unique=True)
+        txn = database.begin()
+        result = index_fetch(tree_of(database), txn, encode_key(1), ">=")
+        database.commit(txn)
+        assert result.eof
+
+    def test_bad_comparison_rejected(self, db):
+        txn = db.begin()
+        with pytest.raises(ValueError):
+            index_fetch(tree_of(db), txn, encode_key(1), "<")
+        db.rollback(txn)
+
+
+class TestFetchNext:
+    def test_walks_in_order(self, db):
+        from repro.common.keys import decode_int_key
+
+        tree = tree_of(db)
+        txn = db.begin()
+        cursor = Cursor(tree)
+        first = index_fetch(tree, txn, encode_key(0), ">=", cursor=cursor)
+        seen = [decode_int_key(first.key.value)]
+        while True:
+            result = index_fetch_next(tree, txn, cursor)
+            if not result.found:
+                break
+            seen.append(decode_int_key(result.key.value))
+        db.commit(txn)
+        assert seen == list(range(0, 100, 10))
+
+    def test_stop_condition(self, db):
+        tree = tree_of(db)
+        txn = db.begin()
+        cursor = Cursor(tree)
+        index_fetch(tree, txn, encode_key(0), ">=", cursor=cursor)
+        result = index_fetch_next(
+            tree, txn, cursor, stop_value=encode_key(5), stop_comparison="<="
+        )
+        db.commit(txn)
+        assert not result.found  # next key 10 exceeds the stop
+
+    def test_unique_equality_shortcut(self, db):
+        tree = tree_of(db)
+        txn = db.begin()
+        cursor = Cursor(tree)
+        index_fetch(tree, txn, encode_key(30), "=", cursor=cursor)
+        result = index_fetch_next(
+            tree, txn, cursor, stop_value=encode_key(30), stop_comparison="="
+        )
+        db.commit(txn)
+        assert not result.found and not result.eof
+
+    def test_repositions_after_own_delete(self, db):
+        """§2.3: the current key may be gone due to a deletion by the
+        same transaction; the cursor repositions like a Fetch."""
+        from repro.common.keys import decode_int_key
+
+        tree = tree_of(db)
+        txn = db.begin()
+        cursor = Cursor(tree)
+        index_fetch(tree, txn, encode_key(30), "=", cursor=cursor)
+        db.delete_by_key(txn, "t", "by_id", 30)
+        result = index_fetch_next(tree, txn, cursor)
+        db.commit(txn)
+        assert decode_int_key(result.key.value) == 40
+        assert db.stats.get("btree.cursor_repositions") >= 1
+
+    def test_fast_path_when_page_unchanged(self, db):
+        tree = tree_of(db)
+        txn = db.begin()
+        cursor = Cursor(tree)
+        index_fetch(tree, txn, encode_key(0), ">=", cursor=cursor)
+        index_fetch_next(tree, txn, cursor)
+        db.commit(txn)
+        assert db.stats.get("btree.cursor_fast_path") >= 1
+
+    def test_next_after_eof(self, db):
+        tree = tree_of(db)
+        txn = db.begin()
+        cursor = Cursor(tree)
+        index_fetch(tree, txn, encode_key(90), "=", cursor=cursor)
+        assert index_fetch_next(tree, txn, cursor).eof
+        assert index_fetch_next(tree, txn, cursor).eof  # stays at EOF
+        db.commit(txn)
+
+
+class TestInsertDelete:
+    def test_insert_then_fetch(self, db):
+        txn = db.begin()
+        db.insert(txn, "t", {"id": 55, "val": "new"})
+        assert db.fetch(txn, "t", "by_id", 55)["val"] == "new"
+        db.commit(txn)
+
+    def test_own_uncommitted_insert_visible(self, db):
+        txn = db.begin()
+        db.insert(txn, "t", {"id": 55, "val": "mine"})
+        assert db.fetch(txn, "t", "by_id", 55) is not None
+        db.rollback(txn)
+
+    def test_unique_violation_same_txn(self, db):
+        txn = db.begin()
+        db.insert(txn, "t", {"id": 55, "val": "a"})
+        with pytest.raises(UniqueKeyViolationError):
+            db.insert(txn, "t", {"id": 55, "val": "b"})
+        db.rollback(txn)
+
+    def test_reinsert_after_committed_delete(self, db):
+        txn = db.begin()
+        db.delete_by_key(txn, "t", "by_id", 30)
+        db.commit(txn)
+        txn = db.begin()
+        db.insert(txn, "t", {"id": 30, "val": "again"})
+        db.commit(txn)
+        check = db.begin()
+        assert db.fetch(check, "t", "by_id", 30)["val"] == "again"
+        db.commit(check)
+
+    def test_delete_then_insert_same_txn(self, db):
+        txn = db.begin()
+        db.delete_by_key(txn, "t", "by_id", 30)
+        db.insert(txn, "t", {"id": 30, "val": "replaced"})
+        db.commit(txn)
+        check = db.begin()
+        assert db.fetch(check, "t", "by_id", 30)["val"] == "replaced"
+        db.commit(check)
+
+    def test_delete_missing_raises(self, db):
+        txn = db.begin()
+        with pytest.raises(KeyNotFoundError):
+            db.delete_by_key(txn, "t", "by_id", 31)
+        db.rollback(txn)
+
+    def test_oversized_key_rejected(self, db):
+        from repro.btree.insert import index_insert
+        from repro.common.errors import IndexError_
+        from repro.common.rid import RID
+
+        txn = db.begin()
+        tree = tree_of(db)
+        with pytest.raises(IndexError_):
+            index_insert(tree, txn, tree.make_key(b"x" * 2000, RID(1, 1)))
+        db.rollback(txn)
+
+
+class TestStringKeys:
+    def test_string_index_end_to_end(self):
+        database = build_db()
+        database.create_table("t")
+        database.create_index("t", "by_name", column="name", unique=False)
+        txn = database.begin()
+        for name in ("mohan", "levine", "gray", "lindsay"):
+            database.insert(txn, "t", {"name": name})
+        database.commit(txn)
+        check = database.begin()
+        hits = [r["name"] for _, r in database.scan(check, "t", "by_name")]
+        database.commit(check)
+        assert hits == sorted(hits)

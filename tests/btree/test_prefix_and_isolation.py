@@ -1,0 +1,171 @@
+"""Partial-key (prefix) Fetch (§1.1) and cursor-stability isolation."""
+
+import pytest
+
+from repro.common.errors import LockTimeoutError
+from repro.common.keys import prefix_upper_bound
+from tests.conftest import build_db
+
+
+def names_db():
+    db = build_db(lock_timeout_seconds=0.5)
+    db.create_table("t")
+    db.create_index("t", "by_name", column="name", unique=True)
+    txn = db.begin()
+    for name in ("alpha", "alphabet", "beta", "betamax", "gamma"):
+        db.insert(txn, "t", {"name": name})
+    db.commit(txn)
+    return db
+
+
+class TestPrefixUpperBound:
+    def test_simple_increment(self):
+        assert prefix_upper_bound(b"abc") == b"abd"
+
+    def test_trailing_ff_carries(self):
+        assert prefix_upper_bound(b"a\xff") == b"b"
+        assert prefix_upper_bound(b"a\xff\xff") == b"b"
+
+    def test_all_ff_unbounded(self):
+        assert prefix_upper_bound(b"\xff\xff") is None
+
+    def test_empty_prefix_unbounded(self):
+        assert prefix_upper_bound(b"") is None
+
+    def test_bound_is_tight(self):
+        bound = prefix_upper_bound(b"alp")
+        assert b"alp" < bound
+        assert b"alphabet" < bound
+        assert not (b"alq" < bound)
+
+
+class TestPrefixFetch:
+    def test_fetch_prefix_hit(self):
+        db = names_db()
+        txn = db.begin()
+        row = db.fetch_prefix(txn, "t", "by_name", "alp")
+        db.commit(txn)
+        assert row["name"] == "alpha"  # first match in order
+
+    def test_fetch_prefix_exact_key_is_a_prefix_of_itself(self):
+        db = names_db()
+        txn = db.begin()
+        row = db.fetch_prefix(txn, "t", "by_name", "beta")
+        db.commit(txn)
+        assert row["name"] == "beta"
+
+    def test_fetch_prefix_miss(self):
+        db = names_db()
+        txn = db.begin()
+        assert db.fetch_prefix(txn, "t", "by_name", "delta") is None
+        db.commit(txn)
+
+    def test_prefix_miss_is_repeatable(self):
+        """The not-found Fetch left its next-key lock: nobody can
+        insert a matching key before we end (§2.2 applied to the
+        prefix form)."""
+        db = names_db()
+        t1 = db.begin()
+        assert db.fetch_prefix(t1, "t", "by_name", "delta") is None
+        t2 = db.begin()
+        with pytest.raises(LockTimeoutError):
+            db.insert(t2, "t", {"name": "delta-one"})
+        db.rollback(t2)
+        assert db.fetch_prefix(t1, "t", "by_name", "delta") is None
+        db.commit(t1)
+
+    def test_scan_prefix(self):
+        db = names_db()
+        txn = db.begin()
+        names = [r["name"] for _, r in db.scan_prefix(txn, "t", "by_name", "alp")]
+        db.commit(txn)
+        assert names == ["alpha", "alphabet"]
+
+    def test_scan_prefix_no_spillover(self):
+        db = names_db()
+        txn = db.begin()
+        names = [r["name"] for _, r in db.scan_prefix(txn, "t", "by_name", "beta")]
+        db.commit(txn)
+        assert names == ["beta", "betamax"]
+
+    def test_scan_prefix_empty(self):
+        db = names_db()
+        txn = db.begin()
+        assert list(db.scan_prefix(txn, "t", "by_name", "zz")) == []
+        db.commit(txn)
+
+
+class TestCursorStability:
+    def make_db(self):
+        db = build_db(lock_timeout_seconds=0.5)
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+        txn = db.begin()
+        for key in range(0, 100, 10):
+            db.insert(txn, "t", {"id": key, "val": "v"})
+        db.commit(txn)
+        return db
+
+    def test_cs_fetch_releases_key_lock(self):
+        db = self.make_db()
+        t1 = db.begin()
+        before = db.locks.lock_count(t1.txn_id)
+        assert db.fetch(t1, "t", "by_id", 50, isolation="cs") is not None
+        assert db.locks.lock_count(t1.txn_id) == before  # nothing retained
+        db.commit(t1)
+
+    def test_rr_fetch_retains_key_lock(self):
+        db = self.make_db()
+        t1 = db.begin()
+        before = db.locks.lock_count(t1.txn_id)
+        assert db.fetch(t1, "t", "by_id", 50, isolation="rr") is not None
+        assert db.locks.lock_count(t1.txn_id) == before + 1
+        db.commit(t1)
+
+    def test_cs_reader_does_not_block_later_delete(self):
+        db = self.make_db()
+        t1 = db.begin()
+        db.fetch(t1, "t", "by_id", 50, isolation="cs")
+        t2 = db.begin()
+        db.delete_by_key(t2, "t", "by_id", 50)  # no conflict with t1
+        db.commit(t2)
+        db.commit(t1)
+
+    def test_rr_reader_blocks_later_delete(self):
+        db = self.make_db()
+        t1 = db.begin()
+        db.fetch(t1, "t", "by_id", 50, isolation="rr")
+        t2 = db.begin()
+        with pytest.raises(LockTimeoutError):
+            db.delete_by_key(t2, "t", "by_id", 50)
+        db.rollback(t2)
+        db.commit(t1)
+
+    def test_cs_scan_holds_at_most_one_scan_lock(self):
+        db = self.make_db()
+        t1 = db.begin()
+        baseline = db.locks.lock_count(t1.txn_id)
+        peak = 0
+        for _ in db.scan(t1, "t", "by_id", isolation="cs"):
+            peak = max(peak, db.locks.lock_count(t1.txn_id) - baseline)
+        assert peak <= 2  # current key + at most the just-acquired next
+        assert db.locks.lock_count(t1.txn_id) == baseline
+        db.commit(t1)
+
+    def test_rr_scan_accumulates_locks(self):
+        db = self.make_db()
+        t1 = db.begin()
+        baseline = db.locks.lock_count(t1.txn_id)
+        rows = list(db.scan(t1, "t", "by_id", isolation="rr"))
+        assert db.locks.lock_count(t1.txn_id) - baseline >= len(rows)
+        db.commit(t1)
+
+    def test_cs_scan_sees_same_rows(self):
+        db = self.make_db()
+        t1 = db.begin()
+        rr = [r["id"] for _, r in db.scan(t1, "t", "by_id", isolation="rr")]
+        db.commit(t1)
+        t2 = db.begin()
+        cs = [r["id"] for _, r in db.scan(t2, "t", "by_id", isolation="cs")]
+        db.commit(t2)
+        assert rr == cs

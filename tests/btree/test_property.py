@@ -1,0 +1,131 @@
+"""Property-based testing: the index against a reference model.
+
+A random sequence of operations runs both against the real database
+and an in-memory model (a dict).  After every committed transaction
+and after crash+restart, the index, the heap, and the model must
+agree, and the tree must pass its structural check.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import KeyNotFoundError, UniqueKeyViolationError
+from tests.conftest import build_db
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "fetch"]),
+        st.integers(min_value=0, max_value=120),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def apply_to_both(db, model, txn, shadow, op, key):
+    effective = shadow[key] if key in shadow else model.get(key)
+    if op == "insert":
+        try:
+            db.insert(txn, "t", {"id": key, "val": f"v{key}"})
+            shadow[key] = f"v{key}"
+        except UniqueKeyViolationError:
+            assert effective is not None
+    elif op == "delete":
+        try:
+            db.delete_by_key(txn, "t", "by_id", key)
+            shadow[key] = None
+        except KeyNotFoundError:
+            assert effective is None
+    else:
+        row = db.fetch(txn, "t", "by_id", key)
+        if effective is None:
+            assert row is None
+        else:
+            assert row is not None and row["val"] == effective
+
+
+def check_agreement(db, model):
+    live = {k: v for k, v in model.items() if v is not None}
+    txn = db.begin()
+    seen = {r["id"]: r["val"] for _, r in db.scan(txn, "t", "by_id")}
+    db.commit(txn)
+    assert seen == live
+    assert db.verify_indexes() == {}
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=operations,
+    commit_mask=st.lists(st.booleans(), min_size=1, max_size=20),
+    crash_at_end=st.booleans(),
+)
+def test_index_matches_model(ops, commit_mask, crash_at_end):
+    db = build_db(page_size=768, buffer_pool_pages=32)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+
+    model: dict[int, str | None] = {}
+    batch_size = 5
+    txn_index = 0
+    for start in range(0, len(ops), batch_size):
+        batch = ops[start : start + batch_size]
+        txn = db.begin()
+        shadow: dict[int, str | None] = {}
+        for op, key in batch:
+            apply_to_both(db, model, txn, shadow, op, key)
+        commit = commit_mask[txn_index % len(commit_mask)]
+        txn_index += 1
+        if commit:
+            db.commit(txn)
+            model.update(shadow)
+        else:
+            db.rollback(txn)
+        check_agreement(db, model)
+    if crash_at_end:
+        db.crash()
+        db.restart()
+        check_agreement(db, model)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=10**6), unique=True, min_size=1, max_size=200)
+)
+def test_bulk_insert_scan_order(keys):
+    db = build_db(page_size=768, buffer_pool_pages=64)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    txn = db.begin()
+    for key in keys:
+        db.insert(txn, "t", {"id": key, "val": "x"})
+    db.commit(txn)
+    txn = db.begin()
+    scanned = [r["id"] for _, r in db.scan(txn, "t", "by_id")]
+    db.commit(txn)
+    assert scanned == sorted(keys)
+    assert db.verify_indexes() == {}
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=500), unique=True, min_size=2, max_size=120),
+    data=st.data(),
+)
+def test_insert_then_delete_subset(keys, data):
+    db = build_db(page_size=768, buffer_pool_pages=64)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    txn = db.begin()
+    for key in keys:
+        db.insert(txn, "t", {"id": key, "val": "x"})
+    db.commit(txn)
+    victims = data.draw(st.lists(st.sampled_from(keys), unique=True))
+    txn = db.begin()
+    for key in victims:
+        db.delete_by_key(txn, "t", "by_id", key)
+    db.commit(txn)
+    txn = db.begin()
+    remaining = [r["id"] for _, r in db.scan(txn, "t", "by_id")]
+    db.commit(txn)
+    assert remaining == sorted(set(keys) - set(victims))
+    assert db.verify_indexes() == {}

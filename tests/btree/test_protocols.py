@@ -1,0 +1,154 @@
+"""Figure 2 regenerated: locks per operation, per protocol.
+
+These tests pin down the exact lock rows each protocol produces for
+the canonical operations, and the ordering claim of §1/§5: ARIES/IM
+data-only locking acquires the fewest locks.
+"""
+
+import pytest
+
+from repro.harness.lockaudit import audit_operation, figure2_rows
+from repro.harness.workload import WorkloadSpec, make_database
+
+
+def rows_for(protocol):
+    return figure2_rows(protocol)
+
+
+def rows_of(rows, operation):
+    return {(r.lock_target, r.mode, r.duration): r.count for r in rows if r.operation == operation}
+
+
+class TestDataOnlyFigure2:
+    """The left column of Figure 2 plus the data-only specifics."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return rows_for("aries_im_data_only")
+
+    def test_fetch_locks_current_key_s_commit(self, rows):
+        assert rows_of(rows, "fetch (present)") == {("record", "S", "commit"): 1}
+
+    def test_fetch_absent_locks_next_key(self, rows):
+        assert rows_of(rows, "fetch (absent: next key)") == {("record", "S", "commit"): 1}
+
+    def test_fetch_eof_uses_index_eof_name(self, rows):
+        assert rows_of(rows, "fetch (eof)") == {("eof", "S", "commit"): 1}
+
+    def test_insert_next_key_x_instant_plus_record_lock(self, rows):
+        # Figure 2: next key X instant; the current-key lock is the
+        # record manager's commit X (data-only locking).
+        assert rows_of(rows, "insert") == {
+            ("record", "X", "instant"): 1,
+            ("record", "X", "commit"): 1,
+        }
+
+    def test_delete_next_key_x_commit(self, rows):
+        got = rows_of(rows, "delete")
+        assert got[("record", "X", "commit")] >= 2  # record + next key
+        assert ("record", "X", "instant") not in got
+
+    def test_unique_violation_s_commit_on_found_key(self, rows):
+        got = rows_of(rows, "insert (unique violation)")
+        assert got.get(("record", "S", "commit")) == 1
+
+    def test_scan_locks_every_key_s_commit(self, rows):
+        got = rows_of(rows, "fetch next (3-key scan)")
+        assert set(got) == {("record", "S", "commit")}
+
+
+class TestIndexSpecificFigure2:
+    """The right column of Figure 2: explicit key locks."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return rows_for("aries_im_index_specific")
+
+    def test_fetch_locks_key_not_record(self, rows):
+        got = rows_of(rows, "fetch (present)")
+        assert got.get(("key", "S", "commit")) == 1
+        # The record manager also locks the record on retrieval.
+        assert got.get(("record", "S", "commit")) == 1
+
+    def test_insert_current_key_x_commit(self, rows):
+        got = rows_of(rows, "insert")
+        assert got.get(("key", "X", "instant")) == 1  # next key
+        assert got.get(("key", "X", "commit")) == 1  # current key
+
+    def test_delete_current_key_x_instant(self, rows):
+        got = rows_of(rows, "delete")
+        assert got.get(("key", "X", "commit")) == 1  # next key
+        assert got.get(("key", "X", "instant")) == 1  # current key
+
+
+class TestKVLLocksValues:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return rows_for("aries_kvl")
+
+    def test_fetch_locks_key_value(self, rows):
+        got = rows_of(rows, "fetch (present)")
+        assert got.get(("key value", "S", "commit")) == 1
+
+    def test_insert_new_value(self, rows):
+        got = rows_of(rows, "insert")
+        assert got.get(("key value", "IX", "instant")) == 1  # next value
+        assert got.get(("key value", "X", "commit")) == 1  # new value
+
+    def test_delete_locks_value_and_next(self, rows):
+        got = rows_of(rows, "delete")
+        assert got.get(("key value", "X", "commit")) == 2  # value + next
+
+    def test_duplicates_share_one_lock_name(self):
+        """KVL's coarseness: all duplicates of a value map to one lock."""
+        spec = WorkloadSpec(n_initial=10, key_space=100, unique=False, seed=5)
+        db = make_database(spec, protocol="aries_kvl")
+        tree = db.tables["t"].indexes["by_k"]
+        from repro.common.rid import RID, IndexKey
+
+        name_a = tree.protocol.key_lock_name(tree, IndexKey(b"v", RID(1, 1)))
+        name_b = tree.protocol.key_lock_name(tree, IndexKey(b"v", RID(2, 9)))
+        assert name_a == name_b
+
+    def test_index_specific_distinguishes_duplicates(self):
+        spec = WorkloadSpec(n_initial=10, key_space=100, unique=False, seed=5)
+        db = make_database(spec, protocol="aries_im_index_specific")
+        tree = db.tables["t"].indexes["by_k"]
+        from repro.common.rid import RID, IndexKey
+
+        name_a = tree.protocol.key_lock_name(tree, IndexKey(b"v", RID(1, 1)))
+        name_b = tree.protocol.key_lock_name(tree, IndexKey(b"v", RID(2, 9)))
+        assert name_a != name_b
+
+
+class TestSystemRStyle:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return rows_for("system_r_style")
+
+    def test_insert_all_commit_duration(self, rows):
+        got = rows_of(rows, "insert")
+        assert got.get(("key value", "X", "commit")) == 2  # next + current
+        assert not any(duration == "instant" for (_, _, duration) in got)
+
+
+class TestLockCountOrdering:
+    """§1/§5: ARIES/IM acquires the fewest locks; System R the most."""
+
+    def distinct_locks(self, protocol, operation_filter):
+        rows = rows_for(protocol)
+        return sum(r.count for r in rows if operation_filter in r.operation)
+
+    @pytest.mark.parametrize("operation", ["insert", "delete"])
+    def test_data_only_never_locks_more_than_alternatives(self, operation):
+        data_only = self.distinct_locks("aries_im_data_only", operation)
+        kvl = self.distinct_locks("aries_kvl", operation)
+        sysr = self.distinct_locks("system_r_style", operation)
+        assert data_only <= kvl
+        assert data_only <= sysr
+
+    def test_sysr_holds_only_commit_duration_write_locks(self):
+        rows = rows_for("system_r_style")
+        for row in rows:
+            if row.operation in ("insert", "delete") and row.mode == "X":
+                assert row.duration == "commit"

@@ -1,0 +1,119 @@
+"""Savepoints (partial rollbacks) interacting with SMOs and indexes."""
+
+from repro.wal.records import RecordKind
+from tests.conftest import build_db, populate
+
+
+def small_db():
+    db = build_db(page_size=768)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    return db
+
+
+class TestPartialRollbackAcrossSMOs:
+    def test_rollback_to_savepoint_before_split(self):
+        """The split happened after the savepoint: partial rollback
+        undoes the keys but leaves the split in place (the dummy CLR
+        bypass applies to partial rollbacks too)."""
+        db = small_db()
+        populate(db, range(30))
+        txn = db.begin()
+        db.savepoint(txn, "sp")
+        before = db.stats.get("btree.page_splits")
+        key = 1_001
+        while db.stats.get("btree.page_splits") == before:
+            db.insert(txn, "t", {"id": key, "val": "x" * 8})
+            key += 2
+        inserted = list(range(1_001, key, 2))
+        db.rollback_to_savepoint(txn, "sp")
+        # Transaction continues: insert one more key, then commit.
+        db.insert(txn, "t", {"id": 5_000, "val": "kept"})
+        db.commit(txn)
+        check = db.begin()
+        for k in inserted:
+            assert db.fetch(check, "t", "by_id", k) is None
+        assert db.fetch(check, "t", "by_id", 5_000) is not None
+        db.commit(check)
+        assert db.verify_indexes() == {}
+        assert db.stats.get("btree.undo.smo_records") == 0  # split kept
+
+    def test_savepoint_between_two_splits(self):
+        db = small_db()
+        populate(db, range(30))
+        txn = db.begin()
+        # First split before the savepoint.
+        before = db.stats.get("btree.page_splits")
+        key = 1_001
+        while db.stats.get("btree.page_splits") == before:
+            db.insert(txn, "t", {"id": key, "val": "x" * 8})
+            key += 2
+        first_batch_end = key
+        db.savepoint(txn, "mid")
+        before = db.stats.get("btree.page_splits")
+        while db.stats.get("btree.page_splits") == before:
+            db.insert(txn, "t", {"id": key, "val": "x" * 8})
+            key += 2
+        db.rollback_to_savepoint(txn, "mid")
+        db.commit(txn)
+        check = db.begin()
+        # First batch committed, second undone.
+        for k in range(1_001, first_batch_end, 2):
+            assert db.fetch(check, "t", "by_id", k) is not None
+        for k in range(first_batch_end, key, 2):
+            assert db.fetch(check, "t", "by_id", k) is None
+        db.commit(check)
+        assert db.verify_indexes() == {}
+
+    def test_partial_rollback_logs_clrs_not_updates(self):
+        db = small_db()
+        populate(db, range(10))
+        txn = db.begin()
+        db.savepoint(txn, "sp")
+        db.insert(txn, "t", {"id": 100, "val": "x"})
+        start = db.log.end_lsn
+        db.rollback_to_savepoint(txn, "sp")
+        compensations = [
+            r
+            for r in db.log.records(start)
+            if r.txn_id == txn.txn_id and r.kind is RecordKind.CLR
+        ]
+        assert compensations  # the undo was logged with CLRs
+        db.commit(txn)
+
+    def test_crash_after_partial_rollback(self):
+        """The partial rollback's CLRs are honoured by restart undo:
+        the pre-savepoint work is undone once, the post-savepoint work
+        never reappears."""
+        db = small_db()
+        populate(db, range(10))
+        txn = db.begin()
+        db.insert(txn, "t", {"id": 50, "val": "pre"})
+        db.savepoint(txn, "sp")
+        db.insert(txn, "t", {"id": 60, "val": "post"})
+        db.rollback_to_savepoint(txn, "sp")
+        db.log.force()  # txn still in flight
+        db.crash()
+        db.restart()
+        check = db.begin()
+        assert db.fetch(check, "t", "by_id", 50) is None
+        assert db.fetch(check, "t", "by_id", 60) is None
+        assert sum(1 for _ in db.scan(check, "t", "by_id")) == 10
+        db.commit(check)
+        assert db.verify_indexes() == {}
+
+    def test_repeated_savepoint_cycles(self):
+        db = small_db()
+        populate(db, range(10))
+        txn = db.begin()
+        for cycle in range(5):
+            db.savepoint(txn, "loop")
+            db.insert(txn, "t", {"id": 100 + cycle, "val": "temp"})
+            db.rollback_to_savepoint(txn, "loop")
+        db.insert(txn, "t", {"id": 999, "val": "final"})
+        db.commit(txn)
+        check = db.begin()
+        assert db.fetch(check, "t", "by_id", 999) is not None
+        for cycle in range(5):
+            assert db.fetch(check, "t", "by_id", 100 + cycle) is None
+        db.commit(check)

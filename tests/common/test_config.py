@@ -1,0 +1,47 @@
+"""Configuration validation and overrides."""
+
+import pytest
+
+from repro.common.config import DEFAULT_CONFIG, DatabaseConfig
+from repro.common.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        assert DEFAULT_CONFIG.page_size == 4096
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(ConfigError):
+            DatabaseConfig(page_size=128)
+
+    def test_tiny_pool_rejected(self):
+        with pytest.raises(ConfigError):
+            DatabaseConfig(buffer_pool_pages=1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            DatabaseConfig(lock_timeout_seconds=0)
+
+    def test_negative_checkpoint_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            DatabaseConfig(checkpoint_interval_records=-1)
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_config(self):
+        updated = DEFAULT_CONFIG.with_overrides(enable_sm_bit=False)
+        assert updated.enable_sm_bit is False
+        assert DEFAULT_CONFIG.enable_sm_bit is True
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.page_size = 1  # type: ignore[misc]
+
+    def test_ablation_switches_exist(self):
+        config = DatabaseConfig(
+            enable_sm_bit=False,
+            enable_delete_bit=False,
+            enable_boundary_delete_posc=False,
+            tree_latch_mode="lock",
+        )
+        assert config.tree_latch_mode == "lock"

@@ -1,0 +1,101 @@
+"""Failpoint registry: crash, pause, callback, skip counts."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import SimulatedCrash
+from repro.common.failpoints import FailpointRegistry
+
+
+class TestCrashFailpoints:
+    def test_unarmed_hit_is_noop(self):
+        fp = FailpointRegistry()
+        fp.hit("anything")
+        assert fp.hits("anything") == 1
+
+    def test_armed_crash_raises(self):
+        fp = FailpointRegistry()
+        fp.arm_crash("boom")
+        with pytest.raises(SimulatedCrash) as info:
+            fp.hit("boom")
+        assert info.value.failpoint == "boom"
+
+    def test_crash_fires_once(self):
+        fp = FailpointRegistry()
+        fp.arm_crash("boom")
+        with pytest.raises(SimulatedCrash):
+            fp.hit("boom")
+        fp.hit("boom")  # disarmed after firing
+
+    def test_skip_count(self):
+        fp = FailpointRegistry()
+        fp.arm_crash("boom", skip=2)
+        fp.hit("boom")
+        fp.hit("boom")
+        with pytest.raises(SimulatedCrash):
+            fp.hit("boom")
+
+    def test_disarm(self):
+        fp = FailpointRegistry()
+        fp.arm_crash("boom")
+        fp.disarm("boom")
+        fp.hit("boom")
+
+    def test_disarm_all(self):
+        fp = FailpointRegistry()
+        fp.arm_crash("a")
+        fp.arm_crash("b")
+        fp.disarm_all()
+        fp.hit("a")
+        fp.hit("b")
+
+
+class TestPauseFailpoints:
+    def test_pause_blocks_until_release(self):
+        fp = FailpointRegistry()
+        fp.arm_pause("stop-here")
+        progressed = threading.Event()
+
+        def worker():
+            fp.hit("stop-here")
+            progressed.set()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        fp.wait_until_paused("stop-here")
+        assert not progressed.is_set()
+        fp.release("stop-here")
+        t.join(timeout=5)
+        assert progressed.is_set()
+
+    def test_wait_until_paused_requires_arming(self):
+        fp = FailpointRegistry()
+        with pytest.raises(KeyError):
+            fp.wait_until_paused("never-armed")
+
+    def test_disarm_all_releases_paused_workers(self):
+        fp = FailpointRegistry()
+        fp.arm_pause("stop")
+        done = threading.Event()
+
+        def worker():
+            fp.hit("stop")
+            done.set()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        fp.wait_until_paused("stop")
+        fp.disarm_all()
+        t.join(timeout=5)
+        assert done.is_set()
+
+
+class TestCallbackFailpoints:
+    def test_callback_runs_on_hit(self):
+        fp = FailpointRegistry()
+        calls = []
+        fp.arm_callback("cb", lambda: calls.append(1))
+        fp.hit("cb")
+        fp.hit("cb")
+        assert calls == [1, 1]

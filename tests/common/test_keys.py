@@ -1,0 +1,60 @@
+"""Order preservation and error handling of the key codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.keys import decode_int_key, decode_str_key, encode_key
+
+
+class TestIntKeys:
+    def test_roundtrip(self):
+        for value in (0, 1, -1, 2**62, -(2**62), 42):
+            assert decode_int_key(encode_key(value)) == value
+
+    def test_order_preserved_across_sign(self):
+        assert encode_key(-5) < encode_key(0) < encode_key(5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            encode_key(2**63)
+        with pytest.raises(ConfigError):
+            encode_key(-(2**63) - 1)
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+           st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_order_preserving_property(self, a, b):
+        assert (a < b) == (encode_key(a) < encode_key(b))
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_roundtrip_property(self, a):
+        assert decode_int_key(encode_key(a)) == a
+
+
+class TestStrKeys:
+    def test_roundtrip(self):
+        assert decode_str_key(encode_key("hello")) == "hello"
+
+    def test_empty_string(self):
+        assert encode_key("") == b""
+
+    @given(st.text(), st.text())
+    def test_order_preserving_property(self, a, b):
+        # UTF-8 preserves code-point order.
+        assert (a < b) == (encode_key(a) < encode_key(b))
+
+
+class TestBytesKeys:
+    def test_passthrough(self):
+        assert encode_key(b"\x00\xff") == b"\x00\xff"
+
+
+class TestRejections:
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigError):
+            encode_key(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ConfigError):
+            encode_key(3.14)  # type: ignore[arg-type]

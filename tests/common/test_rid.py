@@ -1,0 +1,53 @@
+"""RID and IndexKey ordering and serialization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rid import NULL_RID, RID, IndexKey
+
+rids = st.builds(
+    RID,
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**16 - 1),
+)
+
+
+class TestRID:
+    def test_ordering_by_page_then_slot(self):
+        assert RID(1, 5) < RID(2, 0)
+        assert RID(1, 5) < RID(1, 6)
+        assert not RID(1, 5) < RID(1, 5)
+
+    def test_roundtrip(self):
+        rid = RID(123456, 789)
+        assert RID.from_bytes(rid.to_bytes()) == rid
+
+    def test_null_rid(self):
+        assert NULL_RID == RID(0, 0)
+
+    @given(rids, rids)
+    def test_order_matches_tuple_order(self, a, b):
+        assert (a < b) == ((a.page_id, a.slot) < (b.page_id, b.slot))
+
+    @given(rids)
+    def test_roundtrip_property(self, rid):
+        assert RID.from_bytes(rid.to_bytes()) == rid
+
+
+class TestIndexKey:
+    def test_ordering_value_first(self):
+        assert IndexKey(b"a", RID(9, 9)) < IndexKey(b"b", RID(0, 0))
+
+    def test_ordering_rid_breaks_value_ties(self):
+        assert IndexKey(b"a", RID(1, 0)) < IndexKey(b"a", RID(1, 1))
+
+    def test_encoded_size_grows_with_value(self):
+        small = IndexKey(b"a", RID(1, 1))
+        large = IndexKey(b"a" * 100, RID(1, 1))
+        assert large.encoded_size() - small.encoded_size() == 99
+
+    def test_hashable_and_equal(self):
+        a = IndexKey(b"k", RID(1, 2))
+        b = IndexKey(b"k", RID(1, 2))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,99 @@
+"""Counter registry, diffs, and the lock audit trail."""
+
+import threading
+
+from repro.common.stats import OperationProbe, StatsRegistry
+
+
+class TestCounters:
+    def test_incr_and_get(self):
+        stats = StatsRegistry()
+        stats.incr("a")
+        stats.incr("a", 4)
+        assert stats.get("a") == 5
+        assert stats.get("missing") == 0
+
+    def test_disabled_registry_ignores_increments(self):
+        stats = StatsRegistry(enabled=False)
+        stats.incr("a")
+        assert stats.get("a") == 0
+
+    def test_snapshot_diff(self):
+        stats = StatsRegistry()
+        stats.incr("x", 2)
+        before = stats.snapshot()
+        stats.incr("x")
+        stats.incr("y", 3)
+        delta = stats.diff(before)
+        assert delta == {"x": 1, "y": 3}
+
+    def test_reset(self):
+        stats = StatsRegistry()
+        stats.incr("x")
+        stats.reset()
+        assert stats.get("x") == 0
+
+    def test_thread_safety_of_increments(self):
+        stats = StatsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                stats.incr("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.get("n") == 8000
+
+    def test_format_table_filters_by_prefix(self):
+        stats = StatsRegistry()
+        stats.incr("lock.requests", 2)
+        stats.incr("latch.acquisitions", 1)
+        table = stats.format_table("lock.")
+        assert "lock.requests" in table
+        assert "latch" not in table
+
+
+class TestLockAudit:
+    def test_audit_disabled_by_default(self):
+        stats = StatsRegistry()
+        stats.record_lock(1, ("rec", 1), "S", "commit", True)
+        assert stats.lock_audit() == []
+
+    def test_audit_records_with_operation_label(self):
+        stats = StatsRegistry()
+        stats.enable_lock_audit()
+        stats.set_operation("fetch")
+        stats.record_lock(1, ("rec", 1), "S", "commit", True)
+        stats.clear_operation()
+        stats.record_lock(1, ("rec", 2), "X", "instant", False)
+        entries = stats.lock_audit()
+        assert entries[0].operation == "fetch"
+        assert entries[1].operation == ""
+        assert entries[1].granted_immediately is False
+
+    def test_operation_probe_scopes_entries(self):
+        stats = StatsRegistry()
+        with OperationProbe(stats, "op-a") as probe:
+            stats.record_lock(1, ("rec", 1), "S", "commit", True)
+        stats.set_operation("other")
+        stats.record_lock(1, ("rec", 2), "S", "commit", True)
+        assert len(probe.entries) == 1
+        assert probe.entries[0].name == ("rec", 1)
+
+    def test_operation_label_is_thread_local(self):
+        stats = StatsRegistry()
+        stats.enable_lock_audit()
+        stats.set_operation("main-op")
+        seen = []
+
+        def other_thread():
+            seen.append(stats.operation)
+
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+        assert seen == [""]
+        assert stats.operation == "main-op"

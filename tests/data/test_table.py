@@ -1,0 +1,146 @@
+"""Table layer: rows, multi-index maintenance, scans, updates."""
+
+import pytest
+
+from repro.common.errors import KeyNotFoundError, UniqueKeyViolationError
+from repro.data.table import decode_row, encode_row
+from tests.conftest import build_db, populate
+
+
+class TestRowCodec:
+    def test_roundtrip(self):
+        row = {"id": 7, "name": "x", "blob": b"\x00\x01", "flag": True, "n": None}
+        assert decode_row(encode_row(row)) == row
+
+
+class TestMultiIndex:
+    def make_db(self):
+        db = build_db()
+        db.create_table("people")
+        db.create_index("people", "by_id", column="id", unique=True)
+        db.create_index("people", "by_name", column="name", unique=False)
+        return db
+
+    def test_insert_maintains_both_indexes(self):
+        db = self.make_db()
+        txn = db.begin()
+        db.insert(txn, "people", {"id": 1, "name": "ada"})
+        db.insert(txn, "people", {"id": 2, "name": "ada"})
+        db.commit(txn)
+        check = db.begin()
+        assert db.fetch(check, "people", "by_id", 1)["name"] == "ada"
+        names = [r["id"] for _, r in db.scan(check, "people", "by_name", low="ada", high="ada")]
+        db.commit(check)
+        assert sorted(names) == [1, 2]
+
+    def test_nonunique_index_accepts_duplicates(self):
+        db = self.make_db()
+        txn = db.begin()
+        for i in range(5):
+            db.insert(txn, "people", {"id": i, "name": "dup"})
+        db.commit(txn)
+        check = db.begin()
+        hits = list(db.scan(check, "people", "by_name", low="dup", high="dup"))
+        db.commit(check)
+        assert len(hits) == 5
+
+    def test_delete_maintains_both_indexes(self):
+        db = self.make_db()
+        txn = db.begin()
+        db.insert(txn, "people", {"id": 1, "name": "ada"})
+        db.commit(txn)
+        txn = db.begin()
+        db.delete_by_key(txn, "people", "by_id", 1)
+        db.commit(txn)
+        check = db.begin()
+        assert db.fetch(check, "people", "by_id", 1) is None
+        assert list(db.scan(check, "people", "by_name", low="ada", high="ada")) == []
+        db.commit(check)
+
+    def test_update_replaces_row(self):
+        db = self.make_db()
+        txn = db.begin()
+        rid = db.insert(txn, "people", {"id": 1, "name": "old"})
+        db.commit(txn)
+        txn = db.begin()
+        new_rid = db.tables["people"].update(txn, rid, {"name": "new"})
+        db.commit(txn)
+        assert new_rid != rid
+        check = db.begin()
+        assert db.fetch(check, "people", "by_id", 1)["name"] == "new"
+        assert list(db.scan(check, "people", "by_name", low="old", high="old")) == []
+        db.commit(check)
+
+    def test_index_backfill_on_create(self):
+        db = build_db()
+        db.create_table("people")
+        txn = db.begin()
+        for i in range(20):
+            db.insert(txn, "people", {"id": i, "name": f"n{i % 3}"})
+        db.commit(txn)
+        db.create_index("people", "by_id", column="id", unique=True)
+        check = db.begin()
+        assert db.fetch(check, "people", "by_id", 13) is not None
+        db.commit(check)
+
+
+class TestScans:
+    def test_range_bounds(self, populated_db):
+        db = populated_db
+        txn = db.begin()
+        keys = [r["id"] for _, r in db.scan(txn, "t", "by_id", low=10, high=20)]
+        db.commit(txn)
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_high(self, populated_db):
+        db = populated_db
+        txn = db.begin()
+        keys = [
+            r["id"]
+            for _, r in db.scan(txn, "t", "by_id", low=10, high=20, high_comparison="<")
+        ]
+        db.commit(txn)
+        assert keys == [10, 12, 14, 16, 18]
+
+    def test_exclusive_low(self, populated_db):
+        db = populated_db
+        txn = db.begin()
+        keys = [
+            r["id"]
+            for _, r in db.scan(txn, "t", "by_id", low=10, high=16, low_comparison=">")
+        ]
+        db.commit(txn)
+        assert keys == [12, 14, 16]
+
+    def test_unbounded_scan(self, populated_db):
+        db = populated_db
+        txn = db.begin()
+        keys = [r["id"] for _, r in db.scan(txn, "t", "by_id")]
+        db.commit(txn)
+        assert keys == list(range(0, 400, 2))
+
+    def test_empty_range(self, populated_db):
+        db = populated_db
+        txn = db.begin()
+        assert list(db.scan(txn, "t", "by_id", low=11, high=11)) == []
+        db.commit(txn)
+
+
+class TestErrors:
+    def test_unique_violation_across_transactions(self, table_db):
+        populate(table_db, [5])
+        txn = table_db.begin()
+        with pytest.raises(UniqueKeyViolationError):
+            table_db.insert(txn, "t", {"id": 5, "val": "dup"})
+        table_db.rollback(txn)
+
+    def test_delete_missing_key(self, table_db):
+        txn = table_db.begin()
+        with pytest.raises(KeyNotFoundError):
+            table_db.delete_by_key(txn, "t", "by_id", 404)
+        table_db.rollback(txn)
+
+    def test_fetch_missing_key_returns_none(self, table_db):
+        txn = table_db.begin()
+        assert table_db.fetch(txn, "t", "by_id", 404) is None
+        table_db.commit(txn)

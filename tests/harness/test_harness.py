@@ -1,0 +1,102 @@
+"""Harness components: workload determinism, interleaving counter,
+report formatting, lock auditing."""
+
+from repro.harness.interleave import (
+    canonical_scenarios,
+    count_permitted_interleavings,
+)
+from repro.harness.lockaudit import figure2_rows
+from repro.harness.report import format_ratio, format_table
+from repro.harness.workload import (
+    WorkloadSpec,
+    generate_operations,
+    make_database,
+    run_operations,
+)
+
+
+class TestWorkload:
+    def test_generation_is_deterministic(self):
+        spec = WorkloadSpec(seed=99)
+        a = generate_operations(spec, 50)
+        b = generate_operations(spec, 50)
+        assert a == b
+
+    def test_seed_offset_changes_stream(self):
+        spec = WorkloadSpec(seed=99)
+        a = generate_operations(spec, 50)
+        b = generate_operations(spec, 50, seed_offset=1)
+        assert a != b
+
+    def test_fraction_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            WorkloadSpec(fetch_fraction=0.9, insert_fraction=0.9, delete_fraction=0.0)
+
+    def test_make_database_populates(self):
+        spec = WorkloadSpec(n_initial=30, key_space=300)
+        db = make_database(spec)
+        txn = db.begin()
+        n = sum(1 for _ in db.scan(txn, "t", "by_k"))
+        db.commit(txn)
+        assert n == 30
+
+    def test_run_operations_counts(self):
+        spec = WorkloadSpec(n_initial=30, key_space=300, seed=5)
+        db = make_database(spec)
+        ops = generate_operations(spec, 40)
+        result = run_operations(db, spec, ops, abort_fraction=0.5)
+        assert result.committed + result.rolled_back == 10  # 40 ops / 4 per txn
+        assert result.rolled_back > 0
+
+    def test_hot_range(self):
+        spec = WorkloadSpec(hot_fraction=1.0, hot_range=8, seed=1)
+        ops = generate_operations(spec, 100)
+        assert all(op.key < 8 for op in ops)
+
+
+class TestInterleavings:
+    def test_disjoint_inserts_fully_permitted_under_data_only(self):
+        scenario = next(
+            s for s in canonical_scenarios(20) if s.name == "disjoint inserts"
+        )
+        permitted, total = count_permitted_interleavings(
+            scenario, "aries_im_data_only"
+        )
+        assert permitted == total
+
+    def test_delete_vs_fetch_conflicts_somewhere(self):
+        scenario = next(
+            s for s in canonical_scenarios(20) if s.name == "delete vs fetch of same key"
+        )
+        permitted, total = count_permitted_interleavings(
+            scenario, "aries_im_data_only"
+        )
+        assert permitted < total
+
+    def test_data_only_never_below_system_r(self):
+        for scenario in canonical_scenarios(20):
+            im, total = count_permitted_interleavings(scenario, "aries_im_data_only")
+            sysr, _ = count_permitted_interleavings(scenario, "system_r_style")
+            assert im >= sysr, scenario.name
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_format_ratio(self):
+        assert format_ratio(3, 1) == "3.0x"
+        assert format_ratio(0, 0) == "1.0x"
+        assert format_ratio(5, 0) == "inf"
+
+
+class TestFigure2Harness:
+    def test_rows_cover_all_operations(self):
+        rows = figure2_rows("aries_im_data_only")
+        operations = {r.operation for r in rows}
+        assert {"fetch (present)", "insert", "delete"} <= operations

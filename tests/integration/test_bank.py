@@ -1,0 +1,148 @@
+"""End-to-end integration: a bank under concurrent transfers + crashes.
+
+The classic serializability + durability invariant: the total balance
+is conserved by every committed transfer, whatever interleavings,
+rollbacks, deadlocks, and crashes occur.
+"""
+
+import random
+import threading
+
+from repro.common.errors import DeadlockError, LockTimeoutError
+from tests.conftest import build_db
+
+ACCOUNTS = 40
+OPENING = 1_000
+
+
+def make_bank():
+    db = build_db(page_size=1024, lock_timeout_seconds=3.0)
+    db.create_table("accounts")
+    db.create_index("accounts", "by_owner", column="owner", unique=True)
+    txn = db.begin()
+    for owner in range(ACCOUNTS):
+        db.insert(txn, "accounts", {"owner": owner, "balance": OPENING})
+    db.commit(txn)
+    return db
+
+
+def total_balance(db):
+    txn = db.begin()
+    total = sum(r["balance"] for _, r in db.scan(txn, "accounts", "by_owner"))
+    db.commit(txn)
+    return total
+
+
+def transfer(db, txn, src, dst, amount):
+    table = db.tables["accounts"]
+    src_hit = table.fetch_by_key(txn, "by_owner", src)
+    dst_hit = table.fetch_by_key(txn, "by_owner", dst)
+    assert src_hit and dst_hit
+    src_rid, src_row = src_hit
+    dst_rid, dst_row = dst_hit
+    table.update(txn, src_rid, {"balance": src_row["balance"] - amount})
+    table.update(txn, dst_rid, {"balance": dst_row["balance"] + amount})
+
+
+class TestSingleThreaded:
+    def test_committed_transfer_moves_money(self):
+        db = make_bank()
+        txn = db.begin()
+        transfer(db, txn, 0, 1, 250)
+        db.commit(txn)
+        check = db.begin()
+        assert db.fetch(check, "accounts", "by_owner", 0)["balance"] == 750
+        assert db.fetch(check, "accounts", "by_owner", 1)["balance"] == 1250
+        db.commit(check)
+        assert total_balance(db) == ACCOUNTS * OPENING
+
+    def test_rolled_back_transfer_moves_nothing(self):
+        db = make_bank()
+        txn = db.begin()
+        transfer(db, txn, 0, 1, 250)
+        db.rollback(txn)
+        assert total_balance(db) == ACCOUNTS * OPENING
+        check = db.begin()
+        assert db.fetch(check, "accounts", "by_owner", 0)["balance"] == OPENING
+        db.commit(check)
+
+    def test_crash_preserves_only_committed_transfers(self):
+        db = make_bank()
+        txn = db.begin()
+        transfer(db, txn, 0, 1, 100)
+        db.commit(txn)
+        inflight = db.begin()
+        transfer(db, inflight, 2, 3, 700)
+        db.log.force()
+        db.crash()
+        db.restart()
+        assert total_balance(db) == ACCOUNTS * OPENING
+        check = db.begin()
+        assert db.fetch(check, "accounts", "by_owner", 0)["balance"] == 900
+        assert db.fetch(check, "accounts", "by_owner", 2)["balance"] == OPENING
+        db.commit(check)
+
+
+class TestConcurrent:
+    def test_money_conserved_under_contention(self):
+        db = make_bank()
+        failures = []
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            for _ in range(30):
+                src, dst = rng.sample(range(ACCOUNTS), 2)
+                txn = db.begin()
+                try:
+                    transfer(db, txn, src, dst, rng.randint(1, 50))
+                    if rng.random() < 0.2:
+                        db.rollback(txn)
+                    else:
+                        db.commit(txn)
+                except (DeadlockError, LockTimeoutError):
+                    try:
+                        db.rollback(txn)
+                    except Exception as exc:  # pragma: no cover
+                        failures.append(repr(exc))
+                except Exception as exc:  # pragma: no cover
+                    failures.append(repr(exc))
+                    try:
+                        db.rollback(txn)
+                    except Exception:
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert failures == []
+        assert total_balance(db) == ACCOUNTS * OPENING
+        assert db.verify_indexes() == {}
+
+    def test_money_conserved_across_crash_under_load(self):
+        db = make_bank()
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            for _ in range(20):
+                src, dst = rng.sample(range(ACCOUNTS), 2)
+                txn = db.begin()
+                try:
+                    transfer(db, txn, src, dst, rng.randint(1, 50))
+                    db.commit(txn)
+                except Exception:
+                    try:
+                        db.rollback(txn)
+                    except Exception:
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        db.crash()
+        db.restart()
+        assert total_balance(db) == ACCOUNTS * OPENING
+        assert db.verify_indexes() == {}

@@ -1,0 +1,115 @@
+"""DDL surface: index creation with backfill, index drop, rebuilds."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.storage.page import Page
+from tests.conftest import build_db, populate
+
+
+def make_db():
+    db = build_db(page_size=768)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    populate(db, range(80))
+    return db
+
+
+class TestCreateIndex:
+    def test_backfill_large_table_with_splits(self):
+        db = build_db(page_size=768)
+        db.create_table("t")
+        txn = db.begin()
+        for key in range(300):
+            db.insert(txn, "t", {"id": key, "val": "v"})
+        db.commit(txn)
+        tree = db.create_index("t", "by_id", column="id", unique=True)
+        assert db.stats.get("btree.page_splits") > 0
+        assert len(tree.all_keys()) == 300
+        assert db.verify_indexes() == {}
+
+    def test_duplicate_index_name_rejected(self):
+        db = make_db()
+        with pytest.raises(ConfigError):
+            db.create_index("t", "by_id", column="id")
+
+    def test_duplicate_table_name_rejected(self):
+        db = make_db()
+        with pytest.raises(ConfigError):
+            db.create_table("t")
+
+    def test_backfilled_index_survives_crash(self):
+        db = build_db()
+        db.create_table("t")
+        populate(db, range(50))
+        db.create_index("t", "late", column="id", unique=True)
+        db.crash()
+        db.restart()
+        txn = db.begin()
+        assert db.fetch(txn, "t", "late", 25) is not None
+        db.commit(txn)
+        assert db.verify_indexes() == {}
+
+
+class TestDropIndex:
+    def test_drop_frees_pages_and_catalog(self):
+        db = make_db()
+        tree = db.tables["t"].indexes["by_id"]
+        root_id = tree.root_page_id
+        db.drop_index("t", "by_id")
+        assert "by_id" not in db.tables["t"].indexes
+        root = db.buffer.fix(root_id)
+        db.buffer.unfix(root_id)
+        assert root.index_id == 0  # freed marker
+
+    def test_heap_rows_survive_drop(self):
+        db = make_db()
+        db.drop_index("t", "by_id")
+        assert len(db.tables["t"].heap.scan_rids()) == 80
+
+    def test_recreate_after_drop(self):
+        db = make_db()
+        db.drop_index("t", "by_id")
+        db.create_index("t", "by_id", column="id", unique=True)
+        txn = db.begin()
+        assert db.fetch(txn, "t", "by_id", 40) is not None
+        db.commit(txn)
+        assert db.verify_indexes() == {}
+
+    def test_drop_is_durable(self):
+        db = make_db()
+        tree = db.tables["t"].indexes["by_id"]
+        page_count_before = len(db.disk.page_ids())
+        db.drop_index("t", "by_id")
+        db.flush_all_pages()
+        db.crash()
+        db.restart()
+        # Every former index page is a freed page after recovery.
+        freed = 0
+        for page_id in db.disk.page_ids():
+            page = Page.from_bytes(db.disk.read(page_id))
+            if getattr(page, "index_id", None) == 0 and not getattr(page, "keys", []):
+                freed += 1
+        assert freed >= 1
+
+    def test_drop_one_of_two_indexes(self):
+        db = make_db()
+        db.create_index("t", "second", column="val", unique=False)
+        db.drop_index("t", "by_id")
+        txn = db.begin()
+        hits = list(db.scan(txn, "t", "second", low="v", high="v"))
+        db.commit(txn)
+        assert len(hits) == 80
+        assert db.verify_indexes() == {}
+
+    def test_dml_after_drop_maintains_remaining_indexes_only(self):
+        db = make_db()
+        db.create_index("t", "second", column="val", unique=False)
+        db.drop_index("t", "by_id")
+        txn = db.begin()
+        db.insert(txn, "t", {"id": 999, "val": "new"})
+        db.commit(txn)
+        check = db.begin()
+        hit = list(db.scan(check, "t", "second", low="new", high="new"))
+        db.commit(check)
+        assert len(hit) == 1

@@ -1,0 +1,113 @@
+"""Property-based lock-manager invariants.
+
+Random single-threaded request/release schedules (conditional requests
+only, so nothing blocks) must preserve the core invariant: the granted
+group on every lock name is pairwise compatible.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import LockNotGrantedError
+from repro.locks.manager import LockManager
+from repro.locks.modes import LockDuration, LockMode, compatible
+
+NAMES = [("rec", 1, i) for i in range(4)]
+TXNS = [1, 2, 3]
+
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["request", "release_all"]),
+        st.sampled_from(TXNS),
+        st.sampled_from(NAMES),
+        st.sampled_from(list(LockMode)),
+        st.sampled_from([LockDuration.COMMIT, LockDuration.MANUAL, LockDuration.INSTANT]),
+    ),
+    max_size=60,
+)
+
+
+def holders_of(locks: LockManager, name) -> dict[int, LockMode]:
+    return {
+        txn: locks.held_mode(txn, name)
+        for txn in TXNS
+        if locks.held_mode(txn, name) is not None
+    }
+
+
+@settings(max_examples=200, deadline=None)
+@given(actions)
+def test_granted_groups_always_compatible(schedule):
+    locks = LockManager(timeout=1.0)
+    for action, txn, name, mode, duration in schedule:
+        if action == "request":
+            try:
+                locks.request(txn, name, mode, duration, conditional=True)
+            except LockNotGrantedError:
+                pass
+        else:
+            locks.release_all(txn)
+        for lock_name in NAMES:
+            held = holders_of(locks, lock_name)
+            txns = list(held)
+            for i, a in enumerate(txns):
+                for b in txns[i + 1 :]:
+                    assert compatible(held[a], held[b]), (
+                        f"{lock_name}: {a}:{held[a]} vs {b}:{held[b]}"
+                    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(actions)
+def test_lock_counts_match_holdings(schedule):
+    locks = LockManager(timeout=1.0)
+    for action, txn, name, mode, duration in schedule:
+        if action == "request":
+            try:
+                locks.request(txn, name, mode, duration, conditional=True)
+            except LockNotGrantedError:
+                pass
+        else:
+            locks.release_all(txn)
+    for txn in TXNS:
+        held = [n for n in NAMES if locks.held_mode(txn, n) is not None]
+        assert locks.lock_count(txn) == len(held)
+
+
+@settings(max_examples=100, deadline=None)
+@given(actions)
+def test_release_all_is_total(schedule):
+    locks = LockManager(timeout=1.0)
+    for action, txn, name, mode, duration in schedule:
+        if action == "request":
+            try:
+                locks.request(txn, name, mode, duration, conditional=True)
+            except LockNotGrantedError:
+                pass
+        else:
+            locks.release_all(txn)
+    for txn in TXNS:
+        locks.release_all(txn)
+        assert locks.lock_count(txn) == 0
+        for name in NAMES:
+            assert locks.held_mode(txn, name) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(actions)
+def test_instant_duration_never_retained_fresh(schedule):
+    """A granted instant request on a name the txn did not already hold
+    must leave no residue."""
+    locks = LockManager(timeout=1.0)
+    for action, txn, name, mode, duration in schedule:
+        if action == "request":
+            already = locks.held_mode(txn, name) is not None
+            try:
+                granted = True
+                locks.request(txn, name, mode, duration, conditional=True)
+            except LockNotGrantedError:
+                granted = False
+            if granted and duration is LockDuration.INSTANT and not already:
+                assert locks.held_mode(txn, name) is None
+        else:
+            locks.release_all(txn)

@@ -1,0 +1,80 @@
+"""Lock mode lattice: compatibility and conversion properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.locks.modes import (
+    LockDuration,
+    LockMode,
+    compatible,
+    convert,
+    stronger_duration,
+)
+
+modes = st.sampled_from(list(LockMode))
+
+
+class TestCompatibility:
+    def test_is_symmetric(self):
+        for a in LockMode:
+            for b in LockMode:
+                assert compatible(a, b) == compatible(b, a)
+
+    def test_x_conflicts_with_everything(self):
+        for mode in LockMode:
+            assert not compatible(LockMode.X, mode)
+
+    def test_is_compatible_with_all_but_x(self):
+        for mode in LockMode:
+            expected = mode is not LockMode.X
+            assert compatible(LockMode.IS, mode) == expected
+
+    def test_classic_pairs(self):
+        assert compatible(LockMode.IX, LockMode.IX)
+        assert not compatible(LockMode.IX, LockMode.S)
+        assert compatible(LockMode.S, LockMode.S)
+        assert not compatible(LockMode.SIX, LockMode.SIX)
+        assert compatible(LockMode.SIX, LockMode.IS)
+
+
+class TestConversion:
+    @given(modes, modes)
+    def test_conversion_is_commutative(self, a, b):
+        assert convert(a, b) == convert(b, a)
+
+    @given(modes, modes)
+    def test_conversion_never_weakens(self, held, requested):
+        result = convert(held, requested)
+        # The result must be incompatible with everything the inputs
+        # were incompatible with (i.e. at least as strong).
+        for other in LockMode:
+            if not compatible(held, other) or not compatible(requested, other):
+                assert not compatible(result, other)
+
+    @given(modes)
+    def test_conversion_idempotent(self, mode):
+        assert convert(mode, mode) == mode
+
+    def test_s_plus_ix_is_six(self):
+        assert convert(LockMode.S, LockMode.IX) == LockMode.SIX
+
+
+class TestDurations:
+    def test_strength_order(self):
+        assert (
+            stronger_duration(LockDuration.INSTANT, LockDuration.COMMIT)
+            is LockDuration.COMMIT
+        )
+        assert (
+            stronger_duration(LockDuration.COMMIT, LockDuration.MANUAL)
+            is LockDuration.COMMIT
+        )
+        assert (
+            stronger_duration(LockDuration.MANUAL, LockDuration.INSTANT)
+            is LockDuration.MANUAL
+        )
+
+    @pytest.mark.parametrize("duration", list(LockDuration))
+    def test_reflexive(self, duration):
+        assert stronger_duration(duration, duration) is duration

@@ -1,0 +1,56 @@
+"""Interval-driven automatic fuzzy checkpointing."""
+
+from tests.conftest import build_db, populate
+
+
+def make_db(interval):
+    db = build_db(checkpoint_interval_records=interval)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    return db
+
+
+class TestAutoCheckpoint:
+    def test_disabled_by_default(self):
+        db = make_db(0)
+        populate(db, range(200))
+        assert db.stats.get("recovery.checkpoints_taken") == 0
+
+    def test_fires_on_interval(self):
+        db = make_db(100)
+        populate(db, range(60))  # ~2 records per row
+        first = db.stats.get("recovery.checkpoints_taken")
+        assert first >= 1
+        populate(db, range(100, 200))
+        assert db.stats.get("recovery.checkpoints_taken") > first
+
+    def test_not_on_every_commit(self):
+        db = make_db(10_000)
+        for key in range(5):
+            populate(db, [key])
+        assert db.stats.get("recovery.checkpoints_taken") == 0
+
+    def test_checkpoint_advances_master(self):
+        db = make_db(50)
+        populate(db, range(50))
+        assert db.log.master_lsn > 0
+
+    def test_restart_after_auto_checkpoints(self):
+        db = make_db(80)
+        populate(db, range(300))
+        db.crash()
+        report = db.restart()
+        # Analysis started at the last auto-checkpoint.
+        total = len(list(db.log.records()))
+        assert report.analysis.records_scanned < total
+        txn = db.begin()
+        assert sum(1 for _ in db.scan(txn, "t", "by_id")) == 300
+        db.commit(txn)
+
+    def test_manual_checkpoint_resets_interval(self):
+        db = make_db(100)
+        populate(db, range(10))
+        db.checkpoint()
+        taken = db.stats.get("recovery.checkpoints_taken")
+        populate(db, [1_000])  # far below the interval
+        assert db.stats.get("recovery.checkpoints_taken") == taken

@@ -1,0 +1,89 @@
+"""Simulated disk: I/O, allocation, integrity, media hooks."""
+
+import pytest
+
+from repro.common.errors import CorruptPageError, PageNotFoundError, StorageError
+from repro.storage.disk import DiskManager
+
+
+class TestIO:
+    def test_write_read_roundtrip(self):
+        disk = DiskManager(page_size=4096)
+        disk.write(1, b"hello")
+        assert disk.read(1) == b"hello"
+
+    def test_missing_page(self):
+        disk = DiskManager(page_size=4096)
+        with pytest.raises(PageNotFoundError):
+            disk.read(99)
+
+    def test_oversized_write_rejected(self):
+        disk = DiskManager(page_size=16)
+        with pytest.raises(StorageError):
+            disk.write(1, b"x" * 17)
+
+    def test_overwrite_is_atomic_replacement(self):
+        disk = DiskManager(page_size=4096)
+        disk.write(1, b"old")
+        disk.write(1, b"new")
+        assert disk.read(1) == b"new"
+
+    def test_deallocate(self):
+        disk = DiskManager(page_size=4096)
+        disk.write(1, b"x")
+        disk.deallocate(1)
+        assert not disk.contains(1)
+
+    def test_page_ids_sorted(self):
+        disk = DiskManager(page_size=4096)
+        disk.write(5, b"a")
+        disk.write(2, b"b")
+        assert disk.page_ids() == [2, 5]
+
+
+class TestAllocation:
+    def test_ids_start_at_one_and_increase(self):
+        disk = DiskManager(page_size=4096)
+        assert disk.allocate_page_id() == 1
+        assert disk.allocate_page_id() == 2
+
+    def test_write_bumps_allocator(self):
+        disk = DiskManager(page_size=4096)
+        disk.write(10, b"x")
+        assert disk.allocate_page_id() == 11
+
+    def test_ensure_allocator_above(self):
+        disk = DiskManager(page_size=4096)
+        disk.ensure_allocator_above(50)
+        assert disk.allocate_page_id() == 51
+        disk.ensure_allocator_above(3)  # never moves backwards
+        assert disk.allocate_page_id() == 52
+
+
+class TestMediaHooks:
+    def test_corruption_detected_on_read(self):
+        disk = DiskManager(page_size=4096)
+        disk.write(1, b"important" * 4)
+        disk.corrupt(1)
+        with pytest.raises(CorruptPageError):
+            disk.read(1)
+
+    def test_corrupt_missing_page(self):
+        disk = DiskManager(page_size=4096)
+        with pytest.raises(PageNotFoundError):
+            disk.corrupt(7)
+
+    def test_image_copy_and_restore(self):
+        disk = DiskManager(page_size=4096)
+        disk.write(1, b"payload")
+        dump = disk.image_copy()
+        disk.corrupt(1)
+        disk.restore_page(1, dump[1])
+        assert disk.read(1) == b"payload"
+
+    def test_image_copy_is_a_snapshot(self):
+        disk = DiskManager(page_size=4096)
+        disk.write(1, b"v1")
+        dump = disk.image_copy()
+        disk.write(1, b"v2")
+        assert dump[1] == b"v1"

@@ -1,0 +1,128 @@
+"""Inspection tooling: tree/log/transaction dumps, stats summary."""
+
+from repro.tools import (
+    dump_log,
+    dump_transaction,
+    dump_tree,
+    summarize_stats,
+)
+from tests.conftest import build_db, populate
+
+
+def make_db():
+    db = build_db(page_size=768)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    populate(db, range(60))
+    return db
+
+
+class TestDumpTree:
+    def test_shows_structure(self):
+        db = make_db()
+        tree = db.tables["t"].indexes["by_id"]
+        text = dump_tree(tree)
+        assert "index 'by_id'" in text
+        assert "nonleaf" in text  # 60 keys at 768B pages → multi-level
+        assert "leaf" in text
+        assert f"root={tree.root_page_id}" in text
+
+    def test_single_leaf_tree(self):
+        db = build_db()
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+        populate(db, [1, 2])
+        text = dump_tree(db.tables["t"].indexes["by_id"])
+        assert "leaf" in text and "nonleaf" not in text
+
+    def test_bits_flagged(self):
+        db = build_db(page_size=768, reset_sm_bits_after_smo=False)
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+        populate(db, range(80))
+        text = dump_tree(db.tables["t"].indexes["by_id"])
+        assert "bits=S" in text  # lazy mode leaves SM bits set
+
+    def test_truncates_long_pages(self):
+        db = make_db()
+        text = dump_tree(db.tables["t"].indexes["by_id"], max_keys_per_page=2)
+        assert "+" in text  # the "... +N" marker
+
+
+class TestDumpLog:
+    def test_full_dump_has_every_record(self):
+        db = make_db()
+        text = dump_log(db)
+        assert text.count("lsn=") == len(list(db.log.records()))
+
+    def test_filter_by_txn(self):
+        db = make_db()
+        txn = db.begin()
+        db.insert(txn, "t", {"id": 500, "val": "x"})
+        db.commit(txn)
+        text = dump_log(db, txn_id=txn.txn_id)
+        assert f"txn={txn.txn_id}" in text
+        assert "commit" in text
+        other_ids = {
+            line.split("txn=")[1].split()[0] for line in text.splitlines()
+        }
+        assert other_ids == {str(txn.txn_id)}
+
+    def test_filter_by_page(self):
+        db = make_db()
+        tree = db.tables["t"].indexes["by_id"]
+        text = dump_log(db, page_id=tree.root_page_id)
+        assert f"page={tree.root_page_id}" in text
+
+    def test_limit(self):
+        db = make_db()
+        text = dump_log(db, limit=3)
+        assert "truncated" in text
+        assert text.count("lsn=") == 3
+
+    def test_no_match(self):
+        db = make_db()
+        assert "no matching" in dump_log(db, txn_id=10**6)
+
+
+class TestDumpTransaction:
+    def test_rollback_chain_annotated(self):
+        db = make_db()
+        txn = db.begin()
+        db.insert(txn, "t", {"id": 700, "val": "x"})
+        db.rollback(txn)
+        text = dump_transaction(db, txn.txn_id)
+        assert "↩" in text  # CLRs marked
+        assert "rollback" in text
+
+    def test_nta_marked(self):
+        db = build_db(page_size=768)
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+        populate(db, range(30))
+        txn = db.begin()
+        before = db.stats.get("btree.page_splits")
+        key = 900
+        while db.stats.get("btree.page_splits") == before:
+            db.insert(txn, "t", {"id": key, "val": "y" * 8})
+            key += 1
+        db.commit(txn)
+        text = dump_transaction(db, txn.txn_id)
+        assert "⤶" in text  # the dummy CLR
+
+    def test_unknown_txn(self):
+        db = make_db()
+        assert "no records" in dump_transaction(db, 10**6)
+
+
+class TestSummarizeStats:
+    def test_groups_present(self):
+        db = make_db()
+        text = summarize_stats(db)
+        for group in ("locks", "latches", "log", "btree"):
+            assert f"-- {group} --" in text
+
+    def test_disabled_stats(self):
+        db = build_db(stats_enabled=False)
+        db.create_table("t")
+        assert summarize_stats(db) == "(no counters)"

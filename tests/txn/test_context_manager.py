@@ -1,0 +1,71 @@
+"""The ``with db.transaction()`` scope."""
+
+import pytest
+
+from repro.common.errors import UniqueKeyViolationError
+from repro.txn.transaction import TxnStatus
+from tests.conftest import build_db
+
+
+def make_db():
+    db = build_db()
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    return db
+
+
+class TestTransactionScope:
+    def test_commits_on_clean_exit(self):
+        db = make_db()
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 1, "val": "v"})
+        assert txn.status is TxnStatus.ENDED
+        with db.transaction() as check:
+            assert db.fetch(check, "t", "by_id", 1) is not None
+
+    def test_rolls_back_on_exception(self):
+        db = make_db()
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                db.insert(txn, "t", {"id": 2, "val": "v"})
+                raise RuntimeError("boom")
+        with db.transaction() as check:
+            assert db.fetch(check, "t", "by_id", 2) is None
+
+    def test_library_errors_roll_back_too(self):
+        db = make_db()
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 3, "val": "v"})
+        with pytest.raises(UniqueKeyViolationError):
+            with db.transaction() as txn:
+                db.insert(txn, "t", {"id": 99, "val": "collateral"})
+                db.insert(txn, "t", {"id": 3, "val": "dup"})
+        with db.transaction() as check:
+            assert db.fetch(check, "t", "by_id", 99) is None  # rolled back
+
+    def test_explicit_commit_inside_scope_respected(self):
+        db = make_db()
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 4, "val": "v"})
+            db.commit(txn)  # user commits early; scope must not double-end
+        with db.transaction() as check:
+            assert db.fetch(check, "t", "by_id", 4) is not None
+
+    def test_explicit_rollback_inside_scope_respected(self):
+        db = make_db()
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 5, "val": "v"})
+            db.rollback(txn)
+        with db.transaction() as check:
+            assert db.fetch(check, "t", "by_id", 5) is None
+
+    def test_nested_scopes_are_independent_transactions(self):
+        db = make_db()
+        with db.transaction() as outer:
+            db.insert(outer, "t", {"id": 10, "val": "outer"})
+            with db.transaction() as inner:
+                db.insert(inner, "t", {"id": 20, "val": "inner"})
+            assert inner.txn_id != outer.txn_id
+        with db.transaction() as check:
+            assert db.fetch(check, "t", "by_id", 10) is not None
+            assert db.fetch(check, "t", "by_id", 20) is not None

@@ -1,0 +1,141 @@
+"""Log manager: LSNs, force/crash semantics, master record, iteration."""
+
+import pytest
+
+from repro.common.errors import LSNOutOfRangeError
+from repro.wal.log import LogManager
+from repro.wal.records import (
+    LogRecord,
+    RecordKind,
+    clr_record,
+    dummy_clr,
+    update_record,
+)
+
+
+def rec(txn_id=1, op="op", page=1):
+    return update_record(txn_id, "heap", op, page, {"n": 1})
+
+
+class TestAppendAndRead:
+    def test_lsns_monotonically_increase(self):
+        log = LogManager()
+        lsns = [log.append(rec()) for _ in range(5)]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 5
+        assert lsns[0] == 1  # byte offset + 1
+
+    def test_read_back(self):
+        log = LogManager()
+        record = rec(op="hello")
+        lsn = log.append(record)
+        loaded = log.read(lsn)
+        assert loaded.op == "hello"
+        assert loaded.lsn == lsn
+
+    def test_read_out_of_range(self):
+        log = LogManager()
+        log.append(rec())
+        with pytest.raises(LSNOutOfRangeError):
+            log.read(10**9)
+
+    def test_records_iterates_in_order(self):
+        log = LogManager()
+        for i in range(4):
+            log.append(rec(op=f"op{i}"))
+        ops = [r.op for r in log.records()]
+        assert ops == ["op0", "op1", "op2", "op3"]
+
+    def test_records_from_lsn(self):
+        log = LogManager()
+        log.append(rec(op="a"))
+        second = log.append(rec(op="b"))
+        ops = [r.op for r in log.records(second)]
+        assert ops == ["b"]
+
+    def test_tail(self):
+        log = LogManager()
+        for i in range(5):
+            log.append(rec(op=f"op{i}"))
+        assert [r.op for r in log.tail(2)] == ["op3", "op4"]
+
+    def test_read_reparses_after_cache_loss(self):
+        log = LogManager()
+        lsn = log.append(rec(op="persist"))
+        log.force()
+        log.crash()  # drops nothing (forced) but exercises reparse path
+        assert log.read(lsn).op == "persist"
+
+
+class TestCrashSemantics:
+    def test_unforced_tail_lost(self):
+        log = LogManager()
+        kept = log.append(rec(op="kept"))
+        log.force()
+        log.append(rec(op="lost"))
+        log.crash()
+        ops = [r.op for r in log.records()]
+        assert ops == ["kept"]
+        assert log.read(kept).op == "kept"
+
+    def test_force_to_specific_lsn(self):
+        log = LogManager()
+        first = log.append(rec(op="first"))
+        log.append(rec(op="second"))
+        log.force(first)
+        log.crash()
+        assert [r.op for r in log.records()] == ["first"]
+
+    def test_force_all(self):
+        log = LogManager()
+        log.append(rec())
+        log.append(rec())
+        log.force()
+        log.crash()
+        assert len(list(log.records())) == 2
+
+    def test_appends_continue_after_crash(self):
+        log = LogManager()
+        log.append(rec(op="a"))
+        log.force()
+        log.append(rec(op="lost"))
+        log.crash()
+        log.append(rec(op="b"))
+        assert [r.op for r in log.records()] == ["a", "b"]
+
+
+class TestMasterRecord:
+    def test_master_survives_crash(self):
+        log = LogManager()
+        lsn = log.append(rec())
+        log.write_master(lsn)
+        log.crash()
+        assert log.master_lsn == lsn
+
+    def test_master_defaults_to_null(self):
+        assert LogManager().master_lsn == 0
+
+
+class TestRecordHelpers:
+    def test_clr_is_redo_only(self):
+        record = clr_record(1, "btree", "x_c", 5, {}, undo_next_lsn=7)
+        assert record.is_clr
+        assert not record.undoable
+        assert record.is_redoable
+
+    def test_dummy_clr_has_no_page(self):
+        record = dummy_clr(1, undo_next_lsn=9)
+        assert record.is_clr
+        assert not record.is_redoable
+        assert record.undo_next_lsn == 9
+
+    def test_roundtrip_through_bytes(self):
+        record = update_record(3, "btree", "insert_key", 7, {"k": 1})
+        loaded, _ = LogRecord.from_bytes(record.to_bytes())
+        assert loaded.kind is RecordKind.UPDATE
+        assert loaded.rm == "btree"
+        assert loaded.payload == {"k": 1}
+
+    def test_commit_record_not_redoable(self):
+        record = LogRecord(kind=RecordKind.COMMIT, txn_id=1)
+        assert not record.is_redoable

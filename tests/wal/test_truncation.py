@@ -1,0 +1,137 @@
+"""Log prefix truncation and ``Database.trim_log``."""
+
+import pytest
+
+from repro.common.errors import LSNOutOfRangeError
+from repro.wal.log import LogManager
+from repro.wal.records import update_record
+from tests.conftest import build_db, populate
+
+
+def rec(i=0):
+    return update_record(1, "heap", f"op{i}", 1, {"i": i})
+
+
+class TestTruncatePrefix:
+    def test_lsns_stable_across_truncation(self):
+        log = LogManager()
+        lsns = [log.append(rec(i)) for i in range(10)]
+        log.force()
+        log.truncate_prefix(lsns[5])
+        survivor = log.read(lsns[5])
+        assert survivor.op == "op5"
+        assert [r.lsn for r in log.records()] == lsns[5:]
+
+    def test_truncated_lsn_unreadable(self):
+        log = LogManager()
+        lsns = [log.append(rec(i)) for i in range(5)]
+        log.force()
+        log.truncate_prefix(lsns[3])
+        with pytest.raises(LSNOutOfRangeError):
+            log.read(lsns[0])
+
+    def test_only_durable_space_reclaimed(self):
+        log = LogManager()
+        lsns = [log.append(rec(i)) for i in range(5)]
+        log.force(lsns[2])  # durable through op2 only
+        reclaimed = log.truncate_prefix(lsns[4])
+        assert reclaimed > 0
+        # op3 onward still present (they were never durable).
+        assert [r.op for r in log.records()] == ["op3", "op4"]
+
+    def test_truncation_point_property(self):
+        log = LogManager()
+        lsns = [log.append(rec(i)) for i in range(4)]
+        assert log.truncation_point == 1
+        log.force()
+        log.truncate_prefix(lsns[2])
+        assert log.truncation_point == lsns[2]
+
+    def test_appends_after_truncation(self):
+        log = LogManager()
+        lsns = [log.append(rec(i)) for i in range(4)]
+        log.force()
+        log.truncate_prefix(lsns[3])
+        new_lsn = log.append(rec(99))
+        assert new_lsn > lsns[3]
+        assert log.read(new_lsn).op == "op99"
+
+    def test_crash_after_truncation(self):
+        log = LogManager()
+        lsns = [log.append(rec(i)) for i in range(6)]
+        log.force()
+        log.truncate_prefix(lsns[3])
+        log.append(rec(100))  # volatile
+        log.crash()
+        assert [r.op for r in log.records()] == ["op3", "op4", "op5"]
+
+    def test_noop_truncation(self):
+        log = LogManager()
+        log.append(rec())
+        assert log.truncate_prefix(1) == 0
+
+
+class TestTrimLog:
+    def make_db(self):
+        db = build_db()
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+        return db
+
+    def test_trim_after_checkpoint_reclaims(self):
+        db = self.make_db()
+        populate(db, range(200))
+        db.flush_all_pages()
+        db.checkpoint()
+        assert db.trim_log() > 0
+
+    def test_trim_without_checkpoint_reclaims_nothing(self):
+        db = self.make_db()
+        populate(db, range(50))
+        assert db.trim_log() == 0  # master still at LSN 0 → floor 1
+
+    def test_recovery_after_trim(self):
+        db = self.make_db()
+        populate(db, range(100))
+        db.flush_all_pages()
+        db.checkpoint()
+        db.trim_log()
+        populate(db, range(100, 150))  # post-trim work, unflushed
+        db.crash()
+        db.restart()
+        txn = db.begin()
+        assert sum(1 for _ in db.scan(txn, "t", "by_id")) == 150
+        db.commit(txn)
+        assert db.verify_indexes() == {}
+
+    def test_active_transaction_bounds_trim(self):
+        db = self.make_db()
+        populate(db, range(50))
+        long_runner = db.begin()
+        db.insert(long_runner, "t", {"id": 900, "val": "old"})
+        anchor = long_runner.first_lsn
+        # Later keys sit above the long-runner's key so their next-key
+        # locks never touch its uncommitted record.
+        populate(db, range(1_000, 1_100))
+        db.flush_all_pages()
+        db.checkpoint()
+        db.trim_log()
+        assert db.log.truncation_point <= anchor
+        # The long-runner can still roll back completely.
+        db.rollback(long_runner)
+        check = db.begin()
+        assert db.fetch(check, "t", "by_id", 900) is None
+        db.commit(check)
+
+    def test_dirty_pages_bound_trim(self):
+        db = self.make_db()
+        populate(db, range(50))
+        db.checkpoint()  # DPT snapshot non-empty (nothing flushed)
+        rec_lsns = db.buffer.dirty_page_table().values()
+        db.trim_log()
+        assert db.log.truncation_point <= min(rec_lsns)
+        db.crash()
+        db.restart()
+        txn = db.begin()
+        assert sum(1 for _ in db.scan(txn, "t", "by_id")) == 50
+        db.commit(txn)
