@@ -54,6 +54,12 @@ class DatabaseConfig:
     checkpoint_interval_records: int = 0
     """Write a fuzzy checkpoint every N log records (0 disables)."""
 
+    io_retry_limit: int = 4
+    """Attempts the buffer pool makes per disk I/O before a transient
+    fault is promoted to a permanent one (and escalated to a crash)."""
+    io_retry_backoff_seconds: float = 0.0
+    """Base of the exponential backoff between I/O retries (0 = no sleep)."""
+
     stats_enabled: bool = True
     debug_latch_checks: bool = True
     """Assert the paper's invariant that no more than two index-page
@@ -68,6 +74,10 @@ class DatabaseConfig:
             raise ConfigError("timeouts must be positive")
         if self.checkpoint_interval_records < 0:
             raise ConfigError("checkpoint_interval_records must be >= 0")
+        if self.io_retry_limit < 1:
+            raise ConfigError("io_retry_limit must be at least 1")
+        if self.io_retry_backoff_seconds < 0:
+            raise ConfigError("io_retry_backoff_seconds must be >= 0")
 
     def with_overrides(self, **kwargs: object) -> "DatabaseConfig":
         """Return a copy with the given fields replaced."""

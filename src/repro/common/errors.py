@@ -37,8 +37,33 @@ class CorruptPageError(StorageError):
     """A page read from disk failed its integrity check (media damage)."""
 
 
+class IOFaultError(StorageError):
+    """Base class for injected (or real) device-level I/O failures."""
+
+
+class TransientIOError(IOFaultError):
+    """An I/O operation failed but is expected to succeed on retry."""
+
+
+class PermanentIOError(IOFaultError):
+    """An I/O operation failed and retrying cannot help.
+
+    Raised directly by a fault injector for hard device errors, and by
+    the retry helper when a transient fault persists past the retry
+    budget.  The buffer pool escalates it to ``Database.crash()``.
+    """
+
+
 class WALError(ReproError):
     """Base class for log-manager failures."""
+
+
+class CorruptLogError(WALError):
+    """A log record's frame failed its CRC check."""
+
+
+class TruncatedLogError(CorruptLogError):
+    """A log record's frame is cut short (torn log tail)."""
 
 
 class LSNOutOfRangeError(WALError):

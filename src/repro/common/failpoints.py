@@ -27,11 +27,28 @@ from repro.common.errors import SimulatedCrash
 
 @dataclass
 class _PausePoint:
-    """State for a pause-armed failpoint."""
+    """State for a pause-armed failpoint.
+
+    The crash-on-resume flag is guarded by the point's own mutex and is
+    only ever written *before* the release event is set (see
+    :meth:`finish`), so a worker waking from :attr:`release` observes a
+    settled decision — there is no unsynchronized re-read.
+    """
 
     reached: threading.Event = field(default_factory=threading.Event)
     release: threading.Event = field(default_factory=threading.Event)
-    crash_after: bool = False
+    _mutex: threading.Lock = field(default_factory=threading.Lock)
+    _crash_after: bool = False
+
+    def finish(self, crash: bool) -> None:
+        """Settle the outcome (sticky once crash) and wake the worker."""
+        with self._mutex:
+            self._crash_after = self._crash_after or crash
+        self.release.set()
+
+    def should_crash(self) -> bool:
+        with self._mutex:
+            return self._crash_after
 
 
 class FailpointRegistry:
@@ -76,24 +93,26 @@ class FailpointRegistry:
             point = self._pause_points.pop(name, None)
             self._callbacks.pop(name, None)
         if point is not None:
-            point.release.set()
+            point.finish(crash=False)
 
     def disarm_all(self, crash_paused: bool = False) -> None:
         """Disarm everything.  ``crash_paused`` makes any worker parked
         at a pause point resume with :class:`SimulatedCrash` — the
         behaviour a real system failure would have (used by
-        ``Database.crash``)."""
+        ``Database.crash``).
+
+        The registry is emptied atomically under the lock (so a
+        concurrent ``arm_pause`` of the same name installs a *new*
+        point rather than racing on the one being released), and each
+        captured point's outcome is settled before its worker is woken.
+        """
         with self._lock:
-            names = (
-                set(self._crash_points)
-                | set(self._pause_points)
-                | set(self._callbacks)
-            )
-            if crash_paused:
-                for point in self._pause_points.values():
-                    point.crash_after = True
-        for name in names:
-            self.disarm(name)
+            self._crash_points.clear()
+            self._callbacks.clear()
+            points = list(self._pause_points.values())
+            self._pause_points.clear()
+        for point in points:
+            point.finish(crash=crash_paused)
 
     # -- pause coordination -------------------------------------------------
 
@@ -111,7 +130,7 @@ class FailpointRegistry:
         with self._lock:
             point = self._pause_points.pop(name, None)
         if point is not None:
-            point.release.set()
+            point.finish(crash=False)
 
     # -- the hook ---------------------------------------------------------
 
@@ -135,7 +154,7 @@ class FailpointRegistry:
         if pause is not None:
             pause.reached.set()
             pause.release.wait()
-            if pause.crash_after:
+            if pause.should_crash():
                 raise SimulatedCrash(name)
 
     def hits(self, name: str) -> int:

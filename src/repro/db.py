@@ -30,7 +30,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.common.config import DEFAULT_CONFIG, DatabaseConfig
-from repro.common.errors import ConfigError, KeyNotFoundError
+from repro.common.errors import ConfigError, KeyNotFoundError, PermanentIOError
 from repro.common.failpoints import FailpointRegistry
 from repro.common.keys import UserKey, encode_key
 from repro.common.rid import RID
@@ -47,6 +47,7 @@ from repro.recovery.checkpoint import take_checkpoint
 from repro.recovery.restart import RestartReport, run_restart
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
+from repro.storage.faults import FaultInjector
 from repro.storage.latch import LatchManager
 from repro.storage.page import Page
 from repro.txn.manager import TransactionManager
@@ -59,13 +60,26 @@ from repro.wal.records import RM_BTREE, RM_HEAP, LogRecord, RecordKind, update_r
 class Database:
     """One simulated database instance."""
 
-    def __init__(self, config: DatabaseConfig = DEFAULT_CONFIG) -> None:
+    def __init__(
+        self,
+        config: DatabaseConfig = DEFAULT_CONFIG,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
         self.config = config
         self.stats = StatsRegistry(enabled=config.stats_enabled)
         self.failpoints = FailpointRegistry()
-        self.disk = DiskManager(config.page_size, self.stats)
+        self.fault_injector = fault_injector
+        self.disk = DiskManager(config.page_size, self.stats, fault_injector)
         self.log = LogManager(self.stats)
-        self.buffer = BufferPool(self.disk, self.log, config.buffer_pool_pages, self.stats)
+        self.buffer = BufferPool(
+            self.disk,
+            self.log,
+            config.buffer_pool_pages,
+            self.stats,
+            io_retry_limit=config.io_retry_limit,
+            io_retry_backoff_seconds=config.io_retry_backoff_seconds,
+        )
+        self.buffer.on_fatal_io = self._on_fatal_io
         self.latches = self._make_latches()
         self.locks = LockManager(
             self.stats,
@@ -370,12 +384,30 @@ class Database:
     def flush_page(self, page_id: int) -> None:
         self.buffer.flush_page(page_id)
 
+    def _on_fatal_io(self, exc: PermanentIOError) -> None:
+        """A disk I/O fault survived the retry budget: the cleanest
+        thing a database can do is stop — crash now (losing only what
+        a crash is allowed to lose) rather than limp on over a device
+        that lies.  The original error propagates to the caller, who
+        restarts when the storage is healthy again."""
+        if self._crashed:
+            return
+        self.stats.incr("db.io_panics")
+        self.crash()
+
     def crash(self) -> None:
         """Simulate a system failure: all volatile state is lost.
 
-        The log keeps only its forced prefix; the buffer pool, lock
-        table, latch table, and transaction table vanish."""
-        self.log.crash()
+        The log keeps only its forced prefix — plus, when a fault
+        injector schedules WAL-tail loss, a partial suffix of the next
+        unforced record (the torn tail restart must repair); the buffer
+        pool, lock table, latch table, and transaction table vanish,
+        and in-flight torn page writes land on the disk."""
+        keep_partial = 0
+        if self.fault_injector is not None:
+            keep_partial = self.fault_injector.tail_loss(self.log.unforced_bytes)
+        self.log.crash(keep_partial_tail=keep_partial)
+        self.disk.crash()
         self.buffer.crash()
         self.latches = self._make_latches()
         self.locks = LockManager(

@@ -1,6 +1,13 @@
-"""Experiment harness: workloads, lock audits, interleaving counts."""
+"""Experiment harness: workloads, lock audits, interleaving counts,
+fault/crash torture rounds."""
 
 from repro.harness.lockaudit import AuditRow, audit_operation, figure2_rows
+from repro.harness.torture import (
+    TortureReport,
+    TortureSpec,
+    run_torture,
+    run_torture_round,
+)
 from repro.harness.interleave import (
     Scenario,
     canonical_scenarios,
@@ -22,6 +29,8 @@ __all__ = [
     "Operation",
     "RunResult",
     "Scenario",
+    "TortureReport",
+    "TortureSpec",
     "WorkloadSpec",
     "audit_operation",
     "canonical_scenarios",
@@ -33,4 +42,6 @@ __all__ = [
     "interleaving_table",
     "make_database",
     "run_operations",
+    "run_torture",
+    "run_torture_round",
 ]

@@ -1,0 +1,239 @@
+"""Seeded crash-and-fault torture harness.
+
+One round = one seeded random story: a database runs a random workload
+while a seeded :class:`~repro.storage.faults.FaultInjector` tears page
+writes, throws transient/permanent I/O errors, and schedules WAL-tail
+loss; the database crashes (either on its own, when a permanent fault
+escalates, or because the schedule says so); restart recovers; and the
+round verifies the recovery invariants:
+
+1. **Committed durable** — every key whose transaction's ``commit()``
+   returned before the crash is present after restart.
+2. **Uncommitted absent** — no key from an in-flight or rolled-back
+   transaction survives.
+3. **Structure valid** — every index passes ``check_structure`` and the
+   heap agrees with the index.
+4. **Restart idempotent** — a second crash+restart (no new faults)
+   reproduces exactly the same state.
+
+Determinism: each round derives every random decision (workload *and*
+fault schedule) from its seed, so a failing seed replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.common.config import DatabaseConfig
+from repro.common.errors import (
+    DeadlockError,
+    KeyNotFoundError,
+    LockTimeoutError,
+    PermanentIOError,
+    UniqueKeyViolationError,
+)
+from repro.db import Database
+from repro.storage.faults import FaultInjector, FaultPlan
+
+
+@dataclass(frozen=True)
+class TortureSpec:
+    """Parameters of one torture round."""
+
+    seed: int = 0
+    page_size: int = 1024
+    buffer_pool_pages: int = 48
+    initial_keys: int = 30
+    key_space: int = 120
+    txn_count: int = 10
+    max_ops_per_txn: int = 6
+    commit_probability: float = 0.6
+    flush_probability: float = 0.35
+    checkpoint_probability: float = 0.15
+    force_log_probability: float = 0.5
+    torn_write_probability: float = 0.08
+    transient_read_probability: float = 0.03
+    transient_write_probability: float = 0.03
+    permanent_probability: float = 0.01
+    wal_tail_loss_probability: float = 0.5
+
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=self.seed ^ 0x5EED_FA17,
+            torn_write_probability=self.torn_write_probability,
+            transient_read_probability=self.transient_read_probability,
+            transient_write_probability=self.transient_write_probability,
+            permanent_read_probability=self.permanent_probability,
+            permanent_write_probability=self.permanent_probability,
+            wal_tail_loss_probability=self.wal_tail_loss_probability,
+        )
+
+
+@dataclass
+class TortureReport:
+    """Outcome of one round (all invariants already asserted)."""
+
+    seed: int
+    committed_keys: int = 0
+    txns_committed: int = 0
+    txns_rolled_back: int = 0
+    io_panic: bool = False
+    fault_counters: dict[str, int] = field(default_factory=dict)
+    log_tail_bytes_discarded: int = 0
+    pages_rebuilt: int = 0
+
+
+class TortureInvariantError(AssertionError):
+    """A post-restart invariant failed; the message names the seed."""
+
+
+def _check(condition: bool, seed: int, message: str) -> None:
+    if not condition:
+        raise TortureInvariantError(f"seed {seed}: {message}")
+
+
+def _verify_state(db: Database, committed: set[int], seed: int, label: str) -> None:
+    _check(db.verify_indexes() == {}, seed, f"{label}: index structure invalid")
+    txn = db.begin()
+    survivors = {row["id"] for _, row in db.scan(txn, "t", "by_id")}
+    db.commit(txn)
+    missing = committed - survivors
+    extra = survivors - committed
+    _check(
+        not missing, seed, f"{label}: committed keys lost after restart: {sorted(missing)}"
+    )
+    _check(
+        not extra, seed, f"{label}: uncommitted keys survived restart: {sorted(extra)}"
+    )
+    txn = db.begin()
+    heap_keys = {
+        db.tables["t"].fetch_row(txn, rid, lock=False)["id"]
+        for rid in db.tables["t"].heap.scan_rids()
+    }
+    db.commit(txn)
+    _check(heap_keys == committed, seed, f"{label}: heap disagrees with index")
+
+
+def run_torture_round(spec: TortureSpec) -> TortureReport:
+    """Run one seeded fault/crash schedule and assert every invariant."""
+    rng = random.Random(spec.seed)
+    injector = FaultInjector(spec.fault_plan())
+    # The round is single-threaded, so any lock wait is a self-block
+    # that can only end in a timeout — keep it short.
+    config = DatabaseConfig(
+        page_size=spec.page_size,
+        buffer_pool_pages=spec.buffer_pool_pages,
+        lock_timeout_seconds=0.05,
+        latch_timeout_seconds=5.0,
+    )
+    report = TortureReport(seed=spec.seed)
+
+    # Build the schema and the seed rows before arming any fault: the
+    # round's story starts from a known-good committed state.
+    injector.disarm()
+    db = Database(config, fault_injector=injector)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    committed: set[int] = set()
+    txn = db.begin()
+    for key in range(0, spec.initial_keys * 3, 3):
+        db.insert(txn, "t", {"id": key, "val": "seed"})
+        committed.add(key)
+    db.commit(txn)
+    injector.arm()
+
+    open_txns: list = []
+    pending: dict[int, dict[int, str]] = {}
+    crashed = False
+
+    for _ in range(spec.txn_count):
+        if crashed:
+            break
+        try:
+            action = rng.random()
+            if action < 0.55 or not open_txns:
+                txn = db.begin()
+                open_txns.append(txn)
+                pending[txn.txn_id] = {}
+                try:
+                    for _ in range(rng.randint(1, spec.max_ops_per_txn)):
+                        key = rng.randrange(spec.key_space)
+                        # Statement savepoint: a failed statement must
+                        # not leave partial effects (e.g. a heap row
+                        # whose index insert hit a unique violation).
+                        db.savepoint(txn, "stmt")
+                        try:
+                            if rng.random() < 0.6:
+                                db.insert(txn, "t", {"id": key, "val": "w"})
+                                pending[txn.txn_id][key] = "ins"
+                            else:
+                                db.delete_by_key(txn, "t", "by_id", key)
+                                pending[txn.txn_id][key] = "del"
+                        except (UniqueKeyViolationError, KeyNotFoundError):
+                            db.rollback_to_savepoint(txn, "stmt")
+                except (DeadlockError, LockTimeoutError):
+                    # A single-threaded schedule can self-block on
+                    # another open transaction's locks.
+                    open_txns.remove(txn)
+                    pending.pop(txn.txn_id)
+                    db.rollback(txn)
+                    report.txns_rolled_back += 1
+            elif action < 0.8:
+                txn = open_txns.pop(rng.randrange(len(open_txns)))
+                db.commit(txn)
+                report.txns_committed += 1
+                for key, op in pending.pop(txn.txn_id).items():
+                    if op == "ins":
+                        committed.add(key)
+                    else:
+                        committed.discard(key)
+            else:
+                txn = open_txns.pop(rng.randrange(len(open_txns)))
+                db.rollback(txn)
+                pending.pop(txn.txn_id)
+                report.txns_rolled_back += 1
+            if rng.random() < spec.flush_probability:
+                dirty = list(db.buffer.dirty_page_table())
+                for page_id in rng.sample(dirty, k=min(len(dirty), 3)):
+                    db.flush_page(page_id)
+            if rng.random() < spec.checkpoint_probability:
+                db.checkpoint()
+        except PermanentIOError:
+            # The buffer pool escalated a hard fault: the database
+            # already crashed itself cleanly.
+            crashed = True
+            report.io_panic = True
+
+    if not crashed:
+        if rng.random() < spec.force_log_probability:
+            db.log.force()  # make in-flight work durable → undo path
+        db.crash()
+
+    report.fault_counters = dict(injector.counters)
+
+    # Post-crash, the storage keeps its damage but stops producing new
+    # hard faults (transient read flakiness stays live, exercising the
+    # retry path during recovery).
+    injector.enter_recovery_mode()
+    restart_report = db.restart()
+    report.log_tail_bytes_discarded = restart_report.log_tail_bytes_discarded
+    report.pages_rebuilt = restart_report.scrub.pages_rebuilt
+    report.committed_keys = len(committed)
+    _verify_state(db, committed, spec.seed, "first restart")
+
+    # Idempotency: crash again immediately (no new faults scheduled in
+    # recovery mode) and recover to exactly the same state.
+    db.crash()
+    db.restart()
+    _verify_state(db, committed, spec.seed, "second restart")
+    return report
+
+
+def run_torture(
+    seeds: range, base: TortureSpec | None = None
+) -> list[TortureReport]:
+    """Run one round per seed; returns the reports (raises on the first
+    invariant violation)."""
+    base = base or TortureSpec()
+    return [run_torture_round(replace(base, seed=seed)) for seed in seeds]

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.common.errors import RecoveryError
+from repro.common.errors import CorruptPageError, RecoveryError
+from repro.storage.faults import with_io_retries
 from repro.wal.records import NULL_LSN
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,3 +82,88 @@ def recover_page(ctx: "Database", page_id: int, dump: ImageCopy) -> int:
     ctx.stats.incr("recovery.media_recoveries")
     ctx.stats.incr("recovery.media_records_applied", applied)
     return applied
+
+
+# -- self-healing without a dump ---------------------------------------------
+
+
+def rebuild_page_from_log(ctx: "Database", page_id: int) -> int:
+    """Rebuild a damaged page purely from the log (no image copy).
+
+    A page whose on-disk image failed its integrity check (torn write,
+    media damage) is treated like a page that never reached disk: its
+    image is discarded and its entire history — page-format record
+    onward — is replayed in one page-filtered pass from the log's
+    truncation point.  Requires that the log has not been trimmed past
+    the page's birth; otherwise only dump-based :func:`recover_page`
+    can help and a :class:`RecoveryError` is raised.
+
+    Returns the number of log records applied.  The rebuilt page is
+    left dirty in the buffer pool so it eventually reaches disk.
+    """
+    ctx.buffer.discard(page_id)
+    ctx.disk.deallocate(page_id)
+    page = None
+    applied = 0
+    try:
+        for record in ctx.log.records(ctx.log.truncation_point):
+            if not record.is_redoable or record.page_id != page_id:
+                continue
+            if page is None:
+                shell = ctx.rm_registry.get(record.rm).make_shell(record)
+                page = ctx.buffer.fix_new(shell)
+            if page.page_lsn >= record.lsn:
+                continue
+            ctx.rm_registry.get(record.rm).apply_redo(ctx, page, record)
+            page.page_lsn = record.lsn
+            ctx.buffer.mark_dirty(page_id, record.lsn)
+            applied += 1
+    finally:
+        if page is not None:
+            ctx.buffer.unfix(page_id)
+    if page is None:
+        raise RecoveryError(
+            f"page {page_id} is damaged and its history is not in the log "
+            "(trimmed?); media recovery from an image copy is required"
+        )
+    ctx.stats.incr("recovery.pages_rebuilt_from_log")
+    ctx.stats.incr("recovery.media_records_applied", applied)
+    return applied
+
+
+@dataclass
+class ScrubResult:
+    """What the restart scrub pass found and repaired."""
+
+    pages_checked: int = 0
+    pages_rebuilt: int = 0
+    records_applied: int = 0
+
+
+def run_scrub(ctx: "Database") -> ScrubResult:
+    """Verify every on-disk page's integrity; self-heal the damaged ones.
+
+    Runs at restart between analysis and redo.  A torn write can land
+    on a page that redo would never visit (flushed clean before the
+    checkpoint, so absent from the reconstructed dirty page table), so
+    waiting for redo to trip over damage is not enough: every page is
+    checked, and each corrupt one is rebuilt from the log.  Transient
+    read faults are absorbed by the usual bounded retry.
+    """
+    result = ScrubResult()
+    for page_id in ctx.disk.page_ids():
+        result.pages_checked += 1
+        try:
+            with_io_retries(
+                lambda pid=page_id: ctx.disk.read(pid),
+                ctx.config.io_retry_limit,
+                ctx.config.io_retry_backoff_seconds,
+                ctx.stats,
+            )
+        except CorruptPageError:
+            result.records_applied += rebuild_page_from_log(ctx, page_id)
+            result.pages_rebuilt += 1
+    ctx.stats.incr("recovery.scrub_passes")
+    if result.pages_rebuilt:
+        ctx.stats.incr("recovery.scrub_pages_rebuilt", result.pages_rebuilt)
+    return result

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.common.errors import PageNotFoundError
+from repro.common.errors import CorruptPageError, PageNotFoundError
 from repro.recovery.analysis import AnalysisResult
 from repro.wal.records import NULL_LSN
 
@@ -53,6 +53,15 @@ def run_redo(ctx: "Database", analysis: AnalysisResult) -> RedoResult:
             page = ctx.buffer.fix(page_id)
         except PageNotFoundError:
             page = ctx.buffer.fix_new(rm.make_shell(record))
+        except CorruptPageError:
+            # A torn/damaged data page is treated like a missing one:
+            # rebuild it from its full log history (the scrub pass does
+            # this for every on-disk page; this guards pages damaged
+            # between scrub and redo, e.g. by a media-recovery test).
+            from repro.recovery.media import rebuild_page_from_log
+
+            rebuild_page_from_log(ctx, page_id)
+            page = ctx.buffer.fix(page_id)
         try:
             if page.page_lsn < record.lsn:
                 rm.apply_redo(ctx, page, record)

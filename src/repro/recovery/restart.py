@@ -1,18 +1,20 @@
-"""Restart recovery orchestration: the three passes of ARIES (§1.2).
+"""Restart recovery orchestration: the passes of ARIES (§1.2).
 
 ``run_restart`` assumes the volatile state is already gone (the
 database's :meth:`crash` dropped the buffer pool and the unforced log
-tail) and performs analysis → redo (repeating history) → undo, then
-takes a checkpoint so the next restart is cheap.
+tail) and performs log-tail repair → analysis → scrub (self-healing of
+torn/damaged pages) → redo (repeating history) → undo, then takes a
+checkpoint so the next restart is cheap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.recovery.analysis import AnalysisResult, run_analysis
 from repro.recovery.checkpoint import take_checkpoint
+from repro.recovery.media import ScrubResult, run_scrub
 from repro.recovery.redo import RedoResult, run_redo
 from repro.recovery.undo import UndoResult, run_undo
 
@@ -25,21 +27,33 @@ class RestartReport:
     """What restart did — the measures the paper cares about (§1):
     passes over the log, pages accessed during redo and undo, and the
     page-oriented vs. logical undo split (read from the stats
-    registry)."""
+    registry) — plus what the robustness layer repaired: log bytes
+    discarded from a torn tail, and pages rebuilt by the scrub."""
 
     analysis: AnalysisResult
     redo: RedoResult
     undo: UndoResult
+    scrub: ScrubResult = field(default_factory=ScrubResult)
+    log_tail_bytes_discarded: int = 0
     log_passes: int = 3
 
 
 def run_restart(ctx: "Database") -> RestartReport:
+    # The durable log may end mid-record (torn tail): truncate at the
+    # first frame that fails its CRC before any pass reads the log.
+    tail_dropped = ctx.log.repair_tail()
+
     analysis = run_analysis(ctx)
 
     # Adopt reconstructed in-flight transactions so undo can log CLRs
     # through the ordinary transaction machinery.
     for txn in analysis.transactions.values():
         ctx.txns.adopt(txn)
+
+    # Self-heal: every on-disk page is integrity-checked and corrupt
+    # ones (torn writes) are rebuilt from the log before redo relies
+    # on the page-LSN comparison.
+    scrub = run_scrub(ctx)
 
     redo = run_redo(ctx, analysis)
 
@@ -58,4 +72,10 @@ def run_restart(ctx: "Database") -> RestartReport:
     ctx.log.force()
     take_checkpoint(ctx)
     ctx.stats.incr("recovery.restarts")
-    return RestartReport(analysis=analysis, redo=redo, undo=undo)
+    return RestartReport(
+        analysis=analysis,
+        redo=redo,
+        undo=undo,
+        scrub=scrub,
+        log_tail_bytes_discarded=tail_dropped,
+    )

@@ -18,10 +18,16 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
-from repro.common.errors import BufferPoolFullError, PageNotFoundError
+from repro.common.errors import (
+    BufferPoolFullError,
+    PageNotFoundError,
+    PermanentIOError,
+)
 from repro.common.stats import StatsRegistry
 from repro.storage.disk import DiskManager
+from repro.storage.faults import with_io_retries
 from repro.storage.page import Page
 from repro.wal.log import LogManager
 
@@ -34,7 +40,14 @@ class _Frame:
 
 
 class BufferPool:
-    """Fixed-capacity page cache over the simulated disk."""
+    """Fixed-capacity page cache over the simulated disk.
+
+    Disk I/O issued by :meth:`fix` and :meth:`flush_page` absorbs
+    transient I/O faults with bounded retry-and-backoff; a permanent
+    fault (or a transient one that outlives the retry budget) is
+    escalated through ``on_fatal_io`` — the database wires that to a
+    clean ``Database.crash()`` — and then re-raised.
+    """
 
     def __init__(
         self,
@@ -42,14 +55,34 @@ class BufferPool:
         log: LogManager,
         capacity: int,
         stats: StatsRegistry | None = None,
+        io_retry_limit: int = 4,
+        io_retry_backoff_seconds: float = 0.0,
     ) -> None:
         self._disk = disk
         self._log = log
         self._capacity = capacity
         self._stats = stats or StatsRegistry(enabled=False)
+        self._io_retry_limit = io_retry_limit
+        self._io_retry_backoff = io_retry_backoff_seconds
         self._mutex = threading.RLock()
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._dirty_page_table: dict[int, int] = {}
+        #: Called with the PermanentIOError before it is re-raised.
+        self.on_fatal_io: Callable[[PermanentIOError], None] | None = None
+
+    # -- fault-hardened I/O ---------------------------------------------------
+
+    def _disk_io(self, op: Callable[[], object]) -> object:
+        try:
+            return with_io_retries(
+                op, self._io_retry_limit, self._io_retry_backoff, self._stats
+            )
+        except PermanentIOError as exc:
+            self._stats.incr("buffer.fatal_io_errors")
+            handler = self.on_fatal_io
+            if handler is not None:
+                handler(exc)
+            raise
 
     # -- fixing ---------------------------------------------------------------
 
@@ -67,7 +100,7 @@ class BufferPool:
                 self._stats.incr("buffer.hits")
                 return frame.page
             self._evict_if_needed()
-            raw = self._disk.read(page_id)
+            raw = self._disk_io(lambda: self._disk.read(page_id))
             page = Page.from_bytes(raw)
             frame = _Frame(page=page, fix_count=1)
             self._frames[page_id] = frame
@@ -141,7 +174,8 @@ class BufferPool:
                 return
             page = frame.page
             self._log.force(page.page_lsn)
-            self._disk.write(page.page_id, page.to_bytes())
+            raw = page.to_bytes()
+            self._disk_io(lambda: self._disk.write(page.page_id, raw))
             frame.dirty = False
             self._dirty_page_table.pop(page_id, None)
             self._stats.incr("buffer.pages_written")

@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Iterator
 
-from repro.common.errors import LSNOutOfRangeError
+from repro.common.errors import CorruptLogError, LSNOutOfRangeError
 from repro.common.stats import StatsRegistry
 from repro.wal.records import NULL_LSN, LogRecord
 
@@ -100,6 +100,12 @@ class LogManager:
             return self._truncated + len(self._buffer) + 1
 
     @property
+    def unforced_bytes(self) -> int:
+        """Bytes appended but not yet covered by a force."""
+        with self._mutex:
+            return self._truncated + len(self._buffer) - self._flushed_len
+
+    @property
     def truncation_point(self) -> int:
         """Smallest LSN still present (1 if never truncated)."""
         with self._mutex:
@@ -144,14 +150,22 @@ class LogManager:
         """Iterate records in LSN order starting at ``from_lsn``.
 
         Iterates a snapshot of the current log contents; records
-        appended concurrently are not included.
+        appended concurrently are not included.  Iteration stops cleanly
+        at the first record whose frame is truncated or fails its CRC —
+        a torn log tail ends the usable log rather than raising (the
+        analysis pass depends on this; :meth:`repair_tail` physically
+        discards the damage).
         """
         with self._mutex:
             buffer = bytes(self._buffer)
             truncated = self._truncated
         offset = max(from_lsn - 1 - truncated, 0)
         while offset < len(buffer):
-            record, next_offset = LogRecord.from_bytes(buffer, offset)
+            try:
+                record, next_offset = LogRecord.from_bytes(buffer, offset)
+            except CorruptLogError:
+                self._stats.incr("log.tail_frame_errors")
+                return
             record.lsn = truncated + offset + 1
             yield record
             offset = next_offset
@@ -185,15 +199,59 @@ class LogManager:
         self._stats.incr("log.bytes_reclaimed", drop)
         return drop
 
+    # -- tail repair ---------------------------------------------------------
+
+    def repair_tail(self) -> int:
+        """Validate the log stream and discard a corrupt/partial tail.
+
+        Walks every surviving frame from the truncation point; the first
+        frame that is cut short or fails its CRC (a torn tail persisted
+        by :meth:`crash`) ends the usable log, and everything from there
+        on is physically dropped.  Restart calls this before analysis.
+        Returns the number of bytes discarded.
+        """
+        with self._mutex:
+            buffer = bytes(self._buffer)
+            offset = 0
+            while offset < len(buffer):
+                try:
+                    _, offset = LogRecord.from_bytes(buffer, offset)
+                except CorruptLogError:
+                    break
+            dropped = len(buffer) - offset
+            if dropped:
+                limit = self._truncated + offset
+                self._buffer = self._buffer[:offset]
+                self._records = {
+                    lsn: rec for lsn, rec in self._records.items() if lsn <= limit
+                }
+                self._flushed_len = min(self._flushed_len, limit)
+        if dropped:
+            self._stats.incr("log.tail_bytes_discarded", dropped)
+        return dropped
+
     # -- crash simulation -----------------------------------------------------
 
-    def crash(self) -> None:
-        """Discard the volatile tail; only forced bytes survive."""
+    def crash(self, keep_partial_tail: int = 0) -> None:
+        """Discard the volatile tail; only forced bytes survive.
+
+        ``keep_partial_tail`` models the torn tail real log devices hit:
+        that many *additional* unforced bytes beyond the forced prefix
+        are left behind on stable storage, typically cutting the next
+        record mid-frame.  (The extra bytes may also happen to cover
+        whole records — those genuinely reached the device and recovery
+        is entitled to use them.)  Recovery detects and drops a partial
+        suffix via :meth:`repair_tail`.
+        """
         with self._mutex:
             keep = self._flushed_len - self._truncated
+            if keep_partial_tail > 0:
+                keep = min(keep + keep_partial_tail, len(self._buffer))
             self._buffer = self._buffer[:keep]
             survivors = {
                 lsn: rec for lsn, rec in self._records.items() if lsn <= self._flushed_len
             }
             self._records = survivors
+            # Whatever survived is on stable storage by definition.
+            self._flushed_len = self._truncated + keep
         self._stats.incr("log.crashes")

@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common.errors import WALError
-from repro.wal.serialization import decode_value, encode_value
+from repro.wal.serialization import (
+    decode_value,
+    encode_value,
+    frame_record,
+    unframe_record,
+)
 
 NULL_LSN = 0
 """LSN value meaning "none"; real LSNs start at 1."""
@@ -89,6 +94,8 @@ class LogRecord:
     # -- serialization ------------------------------------------------------
 
     def to_bytes(self) -> bytes:
+        """Serialize as a CRC-framed record (see
+        :func:`~repro.wal.serialization.frame_record`)."""
         body = {
             "kind": self.kind.value,
             "txn_id": self.txn_id,
@@ -100,11 +107,12 @@ class LogRecord:
             "undo_next_lsn": self.undo_next_lsn,
             "undoable": self.undoable,
         }
-        return encode_value(body)
+        return frame_record(encode_value(body))
 
     @classmethod
     def from_bytes(cls, raw: bytes, offset: int = 0) -> tuple["LogRecord", int]:
-        body, next_offset = decode_value(raw, offset)
+        body_raw, next_offset = unframe_record(raw, offset)
+        body, _ = decode_value(body_raw)
         if not isinstance(body, dict):
             raise WALError("malformed log record")
         record = cls(

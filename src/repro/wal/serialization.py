@@ -18,9 +18,10 @@ serialized page images directly.
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Any
 
-from repro.common.errors import WALError
+from repro.common.errors import CorruptLogError, TruncatedLogError, WALError
 from repro.common.rid import RID, IndexKey
 
 _TAG_NONE = b"N"
@@ -183,3 +184,47 @@ def _check_room(raw: bytes, offset: int, length: int) -> None:
 def encoded_size(value: Any) -> int:
     """Size in bytes that ``value`` will occupy when encoded."""
     return len(encode_value(value))
+
+
+# -- record framing ----------------------------------------------------------
+#
+# Every log record is written as ``[crc32(body) u32][len(body) u32][body]``.
+# The CRC lives *with* the record in the byte stream, so a torn log tail
+# (a record only partially persisted at crash time) is detectable when the
+# stream is re-read: the frame is either cut short (TruncatedLogError) or
+# its body no longer matches the CRC (CorruptLogError).
+
+RECORD_FRAME = struct.Struct(">II")
+"""``(crc32(body), len(body))`` header preceding every log-record body."""
+
+
+def frame_record(body: bytes) -> bytes:
+    """Wrap an encoded record body in its CRC frame."""
+    return RECORD_FRAME.pack(zlib.crc32(body), len(body)) + body
+
+
+def unframe_record(raw: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Validate and strip one record frame starting at ``offset``.
+
+    Returns ``(body, next_offset)``.  Raises
+    :class:`~repro.common.errors.TruncatedLogError` if the frame is cut
+    short and :class:`~repro.common.errors.CorruptLogError` if the body
+    fails its CRC — both are what a torn or damaged log tail looks like.
+    """
+    if offset + RECORD_FRAME.size > len(raw):
+        raise TruncatedLogError(
+            f"log frame header cut short at offset {offset}: "
+            f"need {RECORD_FRAME.size} bytes, have {len(raw) - offset}"
+        )
+    crc, length = RECORD_FRAME.unpack_from(raw, offset)
+    start = offset + RECORD_FRAME.size
+    end = start + length
+    if end > len(raw):
+        raise TruncatedLogError(
+            f"log record body cut short at offset {start}: "
+            f"need {length} bytes, have {len(raw) - start}"
+        )
+    body = raw[start:end]
+    if zlib.crc32(body) != crc:
+        raise CorruptLogError(f"log record at offset {offset} failed its CRC check")
+    return body, end

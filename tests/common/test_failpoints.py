@@ -91,6 +91,102 @@ class TestPauseFailpoints:
         assert done.is_set()
 
 
+class TestDisarmAllCrashRace:
+    """Regression: ``disarm_all(crash_paused=True)`` must settle each
+    pause point's crash decision *before* waking its worker — a worker
+    reading the flag after an unsynchronized write could resume
+    normally and miss the simulated crash."""
+
+    def test_all_paused_workers_receive_the_crash(self):
+        fp = FailpointRegistry()
+        names = [f"stop-{i}" for i in range(4)]
+        for name in names:
+            fp.arm_pause(name)
+        outcomes: dict[str, str] = {}
+        lock = threading.Lock()
+
+        def worker(name):
+            try:
+                fp.hit(name)
+                result = "resumed"
+            except SimulatedCrash:
+                result = "crashed"
+            with lock:
+                outcomes[name] = result
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in names]
+        for t in threads:
+            t.start()
+        for name in names:
+            fp.wait_until_paused(name)
+        fp.disarm_all(crash_paused=True)
+        for t in threads:
+            t.join(timeout=5)
+        assert outcomes == {name: "crashed" for name in names}
+
+    def test_rearm_after_disarm_all_installs_a_fresh_point(self):
+        fp = FailpointRegistry()
+        fp.arm_pause("stop")
+        crashed = threading.Event()
+
+        def first_worker():
+            try:
+                fp.hit("stop")
+            except SimulatedCrash:
+                crashed.set()
+
+        t1 = threading.Thread(target=first_worker)
+        t1.start()
+        fp.wait_until_paused("stop")
+        fp.disarm_all(crash_paused=True)
+        t1.join(timeout=5)
+        assert crashed.is_set()
+
+        # The same name re-armed afterwards must not inherit the crash.
+        fp.arm_pause("stop")
+        resumed = threading.Event()
+
+        def second_worker():
+            fp.hit("stop")
+            resumed.set()
+
+        t2 = threading.Thread(target=second_worker)
+        t2.start()
+        fp.wait_until_paused("stop")
+        fp.release("stop")
+        t2.join(timeout=5)
+        assert resumed.is_set()
+
+    def test_concurrent_hit_and_crash_disarm_never_loses_the_outcome(self):
+        """Stress the handoff: a worker racing into the pause point
+        against ``disarm_all(crash_paused=True)`` either crashes (it
+        parked in time) or runs through unarmed — it never hangs and
+        never resumes from the pause without the crash."""
+        for _ in range(50):
+            fp = FailpointRegistry()
+            point = fp.arm_pause("race")
+            outcome = []
+
+            def worker():
+                try:
+                    fp.hit("race")
+                    outcome.append("ran")
+                except SimulatedCrash:
+                    outcome.append("crashed")
+
+            t = threading.Thread(target=worker)
+            t.start()
+            fp.disarm_all(crash_paused=True)
+            t.join(timeout=5)
+            assert not t.is_alive()
+            assert outcome in (["ran"], ["crashed"])
+            if outcome == ["ran"]:
+                # "ran" is legal only when the hit happened after the
+                # disarm emptied the registry — i.e. the worker never
+                # actually parked at the point.
+                assert not point.reached.is_set()
+
+
 class TestCallbackFailpoints:
     def test_callback_runs_on_hit(self):
         fp = FailpointRegistry()
