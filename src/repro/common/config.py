@@ -54,6 +54,17 @@ class DatabaseConfig:
     checkpoint_interval_records: int = 0
     """Write a fuzzy checkpoint every N log records (0 disables)."""
 
+    group_commit: bool = False
+    """Coalesce concurrent commit forces into batched synchronous log
+    flushes (one flusher thread; committers park on a condition
+    variable).  Off by default: single-threaded experiments want the
+    paper's one-force-per-commit accounting."""
+    group_commit_max_batch: int = 64
+    """Flush as soon as this many commits are parked."""
+    group_commit_max_wait_seconds: float = 0.002
+    """Flush no later than this after the first commit of a batch parks
+    (bounds added commit latency)."""
+
     io_retry_limit: int = 4
     """Attempts the buffer pool makes per disk I/O before a transient
     fault is promoted to a permanent one (and escalated to a crash)."""
@@ -76,6 +87,10 @@ class DatabaseConfig:
             raise ConfigError("checkpoint_interval_records must be >= 0")
         if self.io_retry_limit < 1:
             raise ConfigError("io_retry_limit must be at least 1")
+        if self.group_commit_max_batch < 1:
+            raise ConfigError("group_commit_max_batch must be at least 1")
+        if self.group_commit_max_wait_seconds < 0:
+            raise ConfigError("group_commit_max_wait_seconds must be >= 0")
         if self.io_retry_backoff_seconds < 0:
             raise ConfigError("io_retry_backoff_seconds must be >= 0")
 

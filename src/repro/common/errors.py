@@ -70,6 +70,27 @@ class LSNOutOfRangeError(WALError):
     """A requested LSN is beyond the durable end of the log."""
 
 
+class LogHaltedError(WALError):
+    """The log manager refused an append because the database crashed.
+
+    Between ``Database.crash()`` and ``Database.restart()`` any thread
+    still running a transaction against the dead instance must not be
+    allowed to write stale records into the post-crash log; the halt
+    makes those threads fail fast instead.
+    """
+
+
+class CommitNotDurableError(WALError):
+    """A commit parked for a group-commit flush that never happened.
+
+    The crash landed between batch enqueue and the batched force, so
+    the commit record was lost with the volatile log tail.  The caller
+    was *not* acknowledged: after restart the transaction is rolled
+    back (or, in a narrow window, may have made it to disk — the
+    classic indeterminate commit every networked database has).
+    """
+
+
 class LockError(ReproError):
     """Base class for lock-manager failures."""
 
@@ -136,6 +157,43 @@ class TreeInconsistentError(IndexError_):
 
 class RecoveryError(ReproError):
     """Restart or media recovery failed."""
+
+
+class DatabaseClosedError(ReproError):
+    """An operation was attempted on a cleanly closed database."""
+
+
+class ServerError(ReproError):
+    """Base class for database-server failures (also the client-side
+    stand-in for a server-reported error kind with no local class)."""
+
+    def __init__(self, message: str, kind: str | None = None) -> None:
+        self.kind = kind or type(self).__name__
+        super().__init__(message)
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control rejected the request: the executor queue was
+    full for longer than the admission timeout (backpressure)."""
+
+
+class RequestTimeoutError(ServerError):
+    """A request ran longer than the per-request timeout.  The session
+    is closed (its transaction rolled back) because the reply stream is
+    no longer in step with the request stream."""
+
+
+class SessionStateError(ServerError):
+    """A request was illegal in the session's current state (e.g. BEGIN
+    with a transaction already open)."""
+
+
+class ProtocolError(ServerError):
+    """A malformed frame or message arrived on the wire."""
+
+
+class ServerShutdownError(ServerError):
+    """The server is shutting down and no longer accepts requests."""
 
 
 class SimulatedCrash(ReproError):  # noqa: N818 - reads as an event

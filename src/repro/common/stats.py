@@ -44,7 +44,16 @@ class LatchAuditEntry:
 
 
 class StatsRegistry:
-    """Thread-safe named counters plus optional audit trails."""
+    """Thread-safe named counters plus optional audit trails.
+
+    Every mutation and every read happens under one internal lock:
+    ``incr`` is an atomic read-modify-write, ``snapshot``/``diff``
+    observe a consistent point-in-time copy (never a half-applied
+    increment), and ``max_gauge`` is an atomic compare-and-raise.  The
+    server's executor pool hammers one registry from many threads, so
+    these guarantees are load-bearing, not decorative — see
+    ``tests/common/test_stats.py::TestConcurrency``.
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
@@ -59,11 +68,20 @@ class StatsRegistry:
     # -- counters ---------------------------------------------------------
 
     def incr(self, name: str, amount: int = 1) -> None:
-        """Increment counter ``name`` by ``amount``."""
+        """Atomically increment counter ``name`` by ``amount``."""
         if not self.enabled:
             return
         with self._lock:
             self._counters[name] += amount
+
+    def max_gauge(self, name: str, value: int) -> None:
+        """Atomically raise counter ``name`` to ``value`` if higher —
+        high-water marks (peak queue depth, peak parked committers)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if value > self._counters.get(name, 0):
+                self._counters[name] = value
 
     def get(self, name: str) -> int:
         with self._lock:

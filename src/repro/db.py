@@ -30,7 +30,12 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.common.config import DEFAULT_CONFIG, DatabaseConfig
-from repro.common.errors import ConfigError, KeyNotFoundError, PermanentIOError
+from repro.common.errors import (
+    ConfigError,
+    DatabaseClosedError,
+    KeyNotFoundError,
+    PermanentIOError,
+)
 from repro.common.failpoints import FailpointRegistry
 from repro.common.keys import UserKey, encode_key
 from repro.common.rid import RID
@@ -71,6 +76,11 @@ class Database:
         self.fault_injector = fault_injector
         self.disk = DiskManager(config.page_size, self.stats, fault_injector)
         self.log = LogManager(self.stats)
+        if config.group_commit:
+            self.log.start_group_commit(
+                config.group_commit_max_batch,
+                config.group_commit_max_wait_seconds,
+            )
         self.buffer = BufferPool(
             self.disk,
             self.log,
@@ -95,6 +105,7 @@ class Database:
         self._table_ids = itertools.count(1)
         self._index_ids = itertools.count(1)
         self._crashed = False
+        self._closed = False
 
     def _make_latches(self) -> LatchManager:
         debug_max = 2 if self.config.debug_latch_checks else None
@@ -243,6 +254,8 @@ class Database:
     # -- transactions ----------------------------------------------------------------
 
     def begin(self) -> Transaction:
+        if self._closed:
+            raise DatabaseClosedError("database is closed")
         return self.txns.begin()
 
     @contextmanager
@@ -384,6 +397,42 @@ class Database:
     def flush_page(self, page_id: int) -> None:
         self.buffer.flush_page(page_id)
 
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the engine down cleanly: roll back whatever is still
+        active, force the log, flush every dirty page, take a final
+        checkpoint, and stop the group-commit flusher.  Idempotent; a
+        crashed instance skips the flush work (its volatile state is
+        already gone).  After ``close()``, :meth:`begin` raises
+        :class:`DatabaseClosedError`."""
+        if self._closed:
+            return
+        if not self._crashed:
+            for txn in self.txns.active_transactions():
+                try:
+                    self.rollback(txn)
+                except Exception:
+                    # Best effort: a wedged transaction must not block
+                    # shutdown of everything else.
+                    self.stats.incr("db.close_rollback_errors")
+            self.log.force()
+            self.flush_all_pages()
+            self.checkpoint()
+        self.log.stop_group_commit()
+        self._closed = True
+        self.stats.incr("db.closes")
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     def _on_fatal_io(self, exc: PermanentIOError) -> None:
         """A disk I/O fault survived the retry budget: the cleanest
         thing a database can do is stop — crash now (losing only what
@@ -402,7 +451,14 @@ class Database:
         injector schedules WAL-tail loss, a partial suffix of the next
         unforced record (the torn tail restart must repair); the buffer
         pool, lock table, latch table, and transaction table vanish,
-        and in-flight torn page writes land on the disk."""
+        and in-flight torn page writes land on the disk.
+
+        The log is *halted* until :meth:`restart`: server threads still
+        mid-transaction when the crash lands fail fast instead of
+        writing stale records into the post-crash log, and committers
+        parked for a group-commit flush are woken with
+        ``CommitNotDurableError`` (they were never acknowledged)."""
+        self.log.halt()
         keep_partial = 0
         if self.fault_injector is not None:
             keep_partial = self.fault_injector.tail_loss(self.log.unforced_bytes)
@@ -422,6 +478,7 @@ class Database:
 
     def restart(self) -> RestartReport:
         """ARIES restart recovery: analysis, redo, undo."""
+        self.log.resume()
         report = run_restart(self)
         self._rebuild_heap_views()
         self._bump_txn_ids()

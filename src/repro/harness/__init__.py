@@ -2,9 +2,19 @@
 fault/crash torture rounds."""
 
 from repro.harness.lockaudit import AuditRow, audit_operation, figure2_rows
+from repro.harness.loadgen import (
+    LatencyRecorder,
+    LoadgenReport,
+    LoadgenSpec,
+    run_loadgen,
+)
 from repro.harness.torture import (
+    MultiSessionReport,
+    MultiSessionSpec,
     TortureReport,
     TortureSpec,
+    run_multisession,
+    run_multisession_round,
     run_torture,
     run_torture_round,
 )
@@ -26,6 +36,11 @@ from repro.harness.workload import (
 
 __all__ = [
     "AuditRow",
+    "LatencyRecorder",
+    "LoadgenReport",
+    "LoadgenSpec",
+    "MultiSessionReport",
+    "MultiSessionSpec",
     "Operation",
     "RunResult",
     "Scenario",
@@ -41,6 +56,9 @@ __all__ = [
     "generate_operations",
     "interleaving_table",
     "make_database",
+    "run_loadgen",
+    "run_multisession",
+    "run_multisession_round",
     "run_operations",
     "run_torture",
     "run_torture_round",

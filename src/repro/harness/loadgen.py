@@ -1,0 +1,319 @@
+"""Closed-loop load generator for the database server.
+
+N workers, each with its own client session, issue a seeded mixed
+workload (fetch/insert/delete/scan) and wait for every response before
+sending the next request — a *closed* loop, so offered load adapts to
+what the server sustains instead of queueing unboundedly.  The run
+reports throughput, a latency histogram with percentiles, and the
+error counts by kind; the e15 benchmark and the CI smoke job consume
+the report (and its JSON form) directly.
+
+The generator talks to any ``connect`` callable returning a
+:class:`~repro.server.client.DatabaseClient` — a TCP ``connect`` for a
+real server, ``server.connect_loopback`` for in-process runs.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import (
+    DeadlockError,
+    KeyNotFoundError,
+    LockTimeoutError,
+    ServerError,
+    UniqueKeyViolationError,
+)
+from repro.server.client import DatabaseClient
+
+
+@dataclass(frozen=True)
+class LoadgenSpec:
+    """Parameters of one load-generation run."""
+
+    workers: int = 8
+    requests_per_worker: int = 100
+    duration_seconds: float | None = None
+    """If set, run for this long instead of a fixed request count."""
+    key_space: int = 2000
+    fetch_fraction: float = 0.5
+    insert_fraction: float = 0.25
+    delete_fraction: float = 0.15
+    scan_fraction: float = 0.10
+    scan_length: int = 10
+    ops_per_txn: int = 1
+    """1 = every request autocommits; >1 = explicit begin/ops/commit."""
+    table: str = "t"
+    index: str = "by_id"
+    key_column: str = "id"
+    value_size: int = 16
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        total = (
+            self.fetch_fraction
+            + self.insert_fraction
+            + self.delete_fraction
+            + self.scan_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation fractions sum to {total}, not 1.0")
+        if self.workers < 1 or self.ops_per_txn < 1:
+            raise ValueError("workers and ops_per_txn must be >= 1")
+
+
+class LatencyRecorder:
+    """Per-request latencies: percentiles plus a log-scale histogram."""
+
+    #: Bucket upper bounds in milliseconds (last bucket is open-ended).
+    BOUNDS_MS = (0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1000)
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def add(self, seconds: float) -> None:
+        self._samples.append(seconds)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        self._samples.extend(other._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, fraction: float) -> float:
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(int(fraction * len(ordered)), len(ordered) - 1)
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        if not self._samples:
+            return {"count": 0}
+        return {
+            "count": len(self._samples),
+            "mean_ms": 1e3 * sum(self._samples) / len(self._samples),
+            "p50_ms": 1e3 * self.percentile(0.50),
+            "p90_ms": 1e3 * self.percentile(0.90),
+            "p99_ms": 1e3 * self.percentile(0.99),
+            "max_ms": 1e3 * max(self._samples),
+        }
+
+    def histogram(self) -> list[tuple[str, int]]:
+        counts = [0] * (len(self.BOUNDS_MS) + 1)
+        for sample in self._samples:
+            ms = sample * 1e3
+            for i, bound in enumerate(self.BOUNDS_MS):
+                if ms <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+        labels = [f"<={bound}ms" for bound in self.BOUNDS_MS] + [
+            f">{self.BOUNDS_MS[-1]}ms"
+        ]
+        return [(label, count) for label, count in zip(labels, counts) if count]
+
+    def format_histogram(self, width: int = 40) -> str:
+        rows = self.histogram()
+        if not rows:
+            return "(no samples)"
+        peak = max(count for _, count in rows)
+        return "\n".join(
+            f"{label:>10} {count:>7} {'#' * max(1, count * width // peak)}"
+            for label, count in rows
+        )
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one run (aggregated over all workers)."""
+
+    spec: LoadgenSpec
+    elapsed_seconds: float = 0.0
+    requests: int = 0
+    commits: int = 0
+    statement_misses: int = 0
+    """Unique-key violations / missing keys — workload noise, not errors."""
+    txn_aborts: int = 0
+    """Deadlock or lock-timeout victims (rolled back and counted)."""
+    errors: dict[str, int] = field(default_factory=dict)
+    """Everything else, by error kind — must be empty in a healthy run."""
+    op_counts: dict[str, int] = field(default_factory=dict)
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.requests / self.elapsed_seconds
+
+    def errors_total(self) -> int:
+        return sum(self.errors.values())
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the benchmark artifact)."""
+        return {
+            "workers": self.spec.workers,
+            "ops_per_txn": self.spec.ops_per_txn,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "requests": self.requests,
+            "throughput_rps": round(self.throughput_rps, 1),
+            "commits": self.commits,
+            "statement_misses": self.statement_misses,
+            "txn_aborts": self.txn_aborts,
+            "errors": dict(self.errors),
+            "op_counts": dict(self.op_counts),
+            "latency": {
+                key: round(value, 3) for key, value in self.latency.summary().items()
+            },
+        }
+
+
+class _Worker:
+    def __init__(
+        self,
+        worker_id: int,
+        connect: Callable[[], DatabaseClient],
+        spec: LoadgenSpec,
+        stop_at: float | None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.connect = connect
+        self.spec = spec
+        self.stop_at = stop_at
+        self.report = LoadgenReport(spec)
+        self.rng = random.Random(spec.seed + 7919 * worker_id)
+
+    def _next_op(self) -> tuple[str, int]:
+        spec = self.spec
+        roll = self.rng.random()
+        key = self.rng.randrange(spec.key_space)
+        if roll < spec.fetch_fraction:
+            return "fetch", key
+        if roll < spec.fetch_fraction + spec.insert_fraction:
+            return "insert", key
+        if roll < spec.fetch_fraction + spec.insert_fraction + spec.delete_fraction:
+            return "delete", key
+        return "scan", key
+
+    def _issue(self, client: DatabaseClient, kind: str, key: int) -> None:
+        spec = self.spec
+        report = self.report
+        start = time.perf_counter()
+        try:
+            if kind == "fetch":
+                client.fetch(spec.table, spec.index, key)
+            elif kind == "insert":
+                client.insert(
+                    spec.table,
+                    {spec.key_column: key, "pad": "v" * spec.value_size},
+                )
+            elif kind == "delete":
+                client.delete_by_key(spec.table, spec.index, key)
+            else:
+                client.scan(
+                    spec.table, spec.index, low=key, high=key + spec.scan_length
+                )
+        except (UniqueKeyViolationError, KeyNotFoundError):
+            report.statement_misses += 1
+        finally:
+            report.latency.add(time.perf_counter() - start)
+            report.requests += 1
+            report.op_counts[kind] = report.op_counts.get(kind, 0) + 1
+
+    def _done(self, issued: int) -> bool:
+        if self.stop_at is not None:
+            return time.perf_counter() >= self.stop_at
+        return issued >= self.spec.requests_per_worker
+
+    def run(self) -> None:
+        spec = self.spec
+        report = self.report
+        try:
+            client = self.connect()
+        except Exception as exc:  # noqa: BLE001 - report, don't die silently
+            report.errors["connect:" + type(exc).__name__] = 1
+            return
+        issued = 0
+        try:
+            while not self._done(issued):
+                batch = [self._next_op() for _ in range(spec.ops_per_txn)]
+                try:
+                    if spec.ops_per_txn == 1:
+                        self._issue(client, *batch[0])
+                    else:
+                        client.begin()
+                        for kind, key in batch:
+                            self._issue(client, kind, key)
+                        client.commit()
+                        report.commits += 1
+                except (DeadlockError, LockTimeoutError):
+                    report.txn_aborts += 1
+                    self._try_rollback(client)
+                except ServerError as exc:
+                    kind = getattr(exc, "kind", type(exc).__name__)
+                    report.errors[kind] = report.errors.get(kind, 0) + 1
+                    if client.closed:
+                        return  # connection gone; this worker is done
+                    self._try_rollback(client)
+                issued += len(batch)
+            if spec.ops_per_txn == 1:
+                # Autocommit: every successful request committed its own
+                # transaction (statement misses still commit — they roll
+                # back only the statement).
+                report.commits = (
+                    report.requests - report.errors_total() - report.txn_aborts
+                )
+        finally:
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _try_rollback(self, client: DatabaseClient) -> None:
+        try:
+            client.rollback()
+        except Exception:  # noqa: BLE001 - nothing was open / already aborted
+            pass
+
+
+def run_loadgen(
+    connect: Callable[[], DatabaseClient], spec: LoadgenSpec
+) -> LoadgenReport:
+    """Run the closed-loop workload; returns the merged report."""
+    stop_at = (
+        time.perf_counter() + spec.duration_seconds
+        if spec.duration_seconds is not None
+        else None
+    )
+    workers = [_Worker(i, connect, spec, stop_at) for i in range(spec.workers)]
+    threads = [
+        threading.Thread(target=worker.run, name=f"loadgen-{worker.worker_id}")
+        for worker in workers
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    merged = LoadgenReport(spec, elapsed_seconds=elapsed)
+    for worker in workers:
+        report = worker.report
+        merged.requests += report.requests
+        merged.commits += report.commits
+        merged.statement_misses += report.statement_misses
+        merged.txn_aborts += report.txn_aborts
+        for kind, count in report.errors.items():
+            merged.errors[kind] = merged.errors.get(kind, 0) + count
+        for kind, count in report.op_counts.items():
+            merged.op_counts[kind] = merged.op_counts.get(kind, 0) + count
+        merged.latency.merge(report.latency)
+    return merged

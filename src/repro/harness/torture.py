@@ -237,3 +237,307 @@ def run_torture(
     invariant violation)."""
     base = base or TortureSpec()
     return [run_torture_round(replace(base, seed=seed)) for seed in seeds]
+
+
+# -- multi-session client workload mode ------------------------------------
+#
+# The single-threaded rounds above drive the engine in-process.  This
+# mode drives it the way production would: a DatabaseServer with group
+# commit enabled, several concurrent client sessions issuing autocommit
+# inserts/deletes over the loopback transport, and a crash landed
+# *while commits are parked between group-commit enqueue and flush* —
+# the exact window the batched force opens up.  The invariant is the
+# durability contract of group commit:
+#
+#   * every ACKED commit (the client got a success response) survives
+#     restart;
+#   * every commit the server answered with CommitNotDurableError (the
+#     crash beat the batched flush) did NOT survive — it was never
+#     acknowledged, so recovery rolled it back;
+#   * responses that never arrived (connection died mid-request) are
+#     indeterminate, like any networked database's in-doubt window.
+#
+# Each session owns a disjoint key partition (key % sessions), so its
+# acked history determines each key's expected state exactly.
+
+
+@dataclass(frozen=True)
+class MultiSessionSpec:
+    """Parameters of one multi-session torture round."""
+
+    seed: int = 0
+    sessions: int = 4
+    requests_per_session: int = 24
+    key_space: int = 160
+    initial_keys: int = 20
+    page_size: int = 1024
+    buffer_pool_pages: int = 64
+    insert_fraction: float = 0.65
+    crash_mode: str = "held_flush"
+    """``held_flush``: pin the flusher, let commits park, crash into the
+    enqueue→flush window.  ``racing``: crash at a random moment with the
+    flusher live.  ``graceful``: no crash — drain, shut down, then
+    crash+restart to check the final checkpoint made everything durable."""
+    crash_after_requests: int = 40
+    """Total acked requests after which the trigger pulls."""
+
+
+@dataclass
+class MultiSessionReport:
+    """Outcome of one multi-session round (invariants already asserted)."""
+
+    seed: int
+    crash_mode: str
+    acked_requests: int = 0
+    lost_commits: int = 0
+    indeterminate_keys: int = 0
+    parked_at_crash: int = 0
+    flushes_saved: int = 0
+    commits: int = 0
+    """Engine-side committed transactions over the whole round."""
+    sync_forces: int = 0
+    """Synchronous log I/Os over the whole round (the coalescing
+    assertion compares this against ``commits``)."""
+
+
+class _SessionWorker:
+    """One client session's thread: issues ops, tracks acked state."""
+
+    def __init__(self, worker_id: int, spec: MultiSessionSpec, server) -> None:
+        self.worker_id = worker_id
+        self.spec = spec
+        self.server = server
+        self.rng = random.Random(spec.seed * 1000003 + worker_id)
+        #: Last *acknowledged* state of every key this worker owns.
+        self.state: dict[int, bool] = {}
+        #: Keys whose state is in doubt (response never arrived).
+        self.unknown: set[int] = set()
+        self.acked = 0
+        self.lost = 0
+
+    def run(self) -> None:
+        from repro.common.errors import (
+            CommitNotDurableError,
+            DatabaseClosedError,
+            LogHaltedError,
+            ServerError,
+            ServerShutdownError,
+        )
+
+        try:
+            client = self.server.connect_loopback()
+        except Exception:  # noqa: BLE001 - server already stopping
+            return
+        spec = self.spec
+        try:
+            for _ in range(spec.requests_per_session):
+                key = (
+                    self.rng.randrange(spec.key_space // spec.sessions) * spec.sessions
+                    + self.worker_id
+                )
+                inserting = self.rng.random() < spec.insert_fraction
+                try:
+                    if inserting:
+                        client.insert("t", {"id": key, "val": f"w{self.worker_id}"})
+                        self.state[key] = True
+                    else:
+                        client.delete_by_key("t", "by_id", key)
+                        self.state[key] = False
+                    self.unknown.discard(key)
+                    self.acked += 1
+                except UniqueKeyViolationError:
+                    # Server proved the key present — an ack in itself.
+                    self.state[key] = True
+                    self.unknown.discard(key)
+                    self.acked += 1
+                except KeyNotFoundError:
+                    self.state[key] = False
+                    self.unknown.discard(key)
+                    self.acked += 1
+                except (CommitNotDurableError, LogHaltedError):
+                    # Definite NO: the commit record died with the
+                    # volatile tail, recovery rolls the attempt back.
+                    self.lost += 1
+                except (DatabaseClosedError, ServerShutdownError):
+                    return  # rejected before execution: no state change
+                except (ServerError, DeadlockError, LockTimeoutError):
+                    # In doubt: the op may or may not have committed
+                    # before the line (or the engine) went down.
+                    self.unknown.add(key)
+                    if client.closed:
+                        return
+                except Exception:  # noqa: BLE001 - post-crash wreckage
+                    # Anything else is in doubt too; stop issuing.
+                    self.unknown.add(key)
+                    return
+        finally:
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+def _join_all(threads: list, seed: int, timeout: float = 30.0) -> None:
+    import time
+
+    deadline = time.monotonic() + timeout
+    for thread in threads:
+        thread.join(timeout=max(deadline - time.monotonic(), 0.1))
+        _check(not thread.is_alive(), seed, "session worker thread wedged")
+
+
+def run_multisession_round(spec: MultiSessionSpec) -> MultiSessionReport:
+    """One multi-session group-commit durability round."""
+    import threading
+    import time
+
+    from repro.server.server import DatabaseServer, ServerConfig
+
+    config = DatabaseConfig(
+        page_size=spec.page_size,
+        buffer_pool_pages=spec.buffer_pool_pages,
+        group_commit=True,
+        group_commit_max_wait_seconds=0.001,
+        lock_timeout_seconds=1.0,
+        latch_timeout_seconds=5.0,
+    )
+    db = Database(config)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    txn = db.begin()
+    initial: list[int] = []
+    for i in range(spec.initial_keys):
+        key = (i * 7) % spec.key_space
+        if key not in initial:
+            db.insert(txn, "t", {"id": key, "val": "seed"})
+            initial.append(key)
+    db.commit(txn)
+
+    server = DatabaseServer(
+        db,
+        ServerConfig(
+            workers=spec.sessions,
+            queue_depth=spec.sessions * 4,
+            request_timeout_seconds=10.0,
+            drain_timeout_seconds=10.0,
+        ),
+    ).start(listen=False)
+
+    workers = [_SessionWorker(i, spec, server) for i in range(spec.sessions)]
+    for worker in workers:
+        for key in initial:
+            if key % spec.sessions == worker.worker_id:
+                worker.state[key] = True
+    threads = [threading.Thread(target=worker.run) for worker in workers]
+    for thread in threads:
+        thread.start()
+
+    report = MultiSessionReport(seed=spec.seed, crash_mode=spec.crash_mode)
+    stats_before = db.stats.snapshot()
+
+    def total_acked() -> int:
+        return sum(w.acked for w in workers)
+
+    if spec.crash_mode == "graceful":
+        _join_all(threads, spec.seed)
+        _check(server.shutdown(drain=True), spec.seed, "graceful drain timed out")
+        db.crash()
+    elif spec.crash_mode == "held_flush":
+        # Let the workload warm up, then pin the flusher so commits park
+        # in the enqueue→flush window, and crash into it.
+        deadline = time.monotonic() + 5.0
+        while total_acked() < spec.crash_after_requests and time.monotonic() < deadline:
+            time.sleep(0.001)
+        db.log.hold_group_commit()
+        deadline = time.monotonic() + 1.0
+        while db.log.group_commit_parked == 0 and time.monotonic() < deadline:
+            if not any(t.is_alive() for t in threads):
+                break  # workload already finished; nothing to park
+            time.sleep(0.001)
+        report.parked_at_crash = db.log.group_commit_parked
+        db.crash()
+        db.log.release_group_commit()
+        _join_all(threads, spec.seed)
+        server.abort()
+    elif spec.crash_mode == "racing":
+        deadline = time.monotonic() + 5.0
+        while total_acked() < spec.crash_after_requests and time.monotonic() < deadline:
+            time.sleep(0.0005)
+        report.parked_at_crash = db.log.group_commit_parked
+        db.crash()
+        _join_all(threads, spec.seed)
+        server.abort()
+    else:
+        raise ValueError(f"unknown crash_mode {spec.crash_mode!r}")
+
+    db.restart()
+    diff = db.stats.diff(stats_before)
+    report.acked_requests = total_acked()
+    report.lost_commits = sum(w.lost for w in workers)
+    report.indeterminate_keys = len(set().union(*(w.unknown for w in workers)))
+    report.flushes_saved = diff.get("log.group_commit_flushes_saved", 0)
+    snap = db.stats.snapshot()
+    report.commits = snap.get("txn.committed", 0)
+    report.sync_forces = snap.get("log.sync_forces", 0)
+
+    _check(
+        db.verify_indexes() == {},
+        spec.seed,
+        f"{spec.crash_mode}: index structure invalid after restart",
+    )
+    txn = db.begin()
+    survivors = {row["id"] for _, row in db.scan(txn, "t", "by_id")}
+    db.commit(txn)
+    for worker in workers:
+        for key, present in worker.state.items():
+            if key in worker.unknown:
+                continue
+            if present:
+                _check(
+                    key in survivors,
+                    spec.seed,
+                    f"{spec.crash_mode}: acked key {key} (session "
+                    f"{worker.worker_id}) lost after restart",
+                )
+            else:
+                _check(
+                    key not in survivors,
+                    spec.seed,
+                    f"{spec.crash_mode}: deleted/never-committed key {key} "
+                    f"(session {worker.worker_id}) survived restart",
+                )
+    # Keys no session owns state for must not materialize out of thin air.
+    known = set().union(*(set(w.state) | w.unknown for w in workers))
+    ghosts = survivors - known
+    _check(not ghosts, spec.seed, f"{spec.crash_mode}: ghost keys {sorted(ghosts)}")
+
+    # Idempotency: crash+restart again reproduces the same state.
+    db.crash()
+    db.restart()
+    txn = db.begin()
+    survivors_again = {row["id"] for _, row in db.scan(txn, "t", "by_id")}
+    db.commit(txn)
+    _check(
+        survivors_again == survivors,
+        spec.seed,
+        f"{spec.crash_mode}: second restart diverged",
+    )
+    if spec.crash_mode == "graceful":
+        server.abort()
+    db.close()
+    return report
+
+
+def run_multisession(
+    seeds: range, base: MultiSessionSpec | None = None
+) -> list[MultiSessionReport]:
+    """One multi-session round per seed, cycling crash modes so a sweep
+    covers held-flush, racing, and graceful shutdowns."""
+    base = base or MultiSessionSpec()
+    modes = ("held_flush", "racing", "graceful")
+    return [
+        run_multisession_round(
+            replace(base, seed=seed, crash_mode=modes[seed % len(modes)])
+        )
+        for seed in seeds
+    ]

@@ -1,0 +1,188 @@
+"""Client library for the database server.
+
+Speaks the length-prefixed JSON protocol over TCP or an in-process
+loopback transport; server-reported errors are re-raised as the
+matching library exception class (``UniqueKeyViolationError`` on the
+server is ``UniqueKeyViolationError`` here).
+
+One client = one session = at most one open transaction::
+
+    client = DatabaseClient.connect(host, port)
+    with client.transaction():
+        client.insert("accounts", {"id": 7, "balance": 100})
+    row = client.fetch("accounts", "by_id", 7)   # autocommit read
+    client.close()
+
+Clients are **not** thread-safe — one per worker thread (each gets its
+own server session, which is the unit of concurrency server-side).
+"""
+
+from __future__ import annotations
+
+import socket
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.common.errors import ServerError
+from repro.server.protocol import FrameConn, SocketTransport, raise_from_response
+
+
+class RemoteTransaction:
+    """Handle for the session's open transaction (id only — the state
+    lives server-side)."""
+
+    def __init__(self, client: "DatabaseClient", txn_id: int) -> None:
+        self.client = client
+        self.txn_id = txn_id
+
+
+class DatabaseClient:
+    """One session against a :class:`~repro.server.server.DatabaseServer`."""
+
+    def __init__(self, conn: FrameConn) -> None:
+        self._conn = conn
+        self._closed = False
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, timeout: float | None = 30.0
+    ) -> "DatabaseClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(FrameConn(SocketTransport(sock)))
+
+    # -- request plumbing --------------------------------------------------
+
+    def request(self, op: str, **args: object) -> object:
+        """Send one request, wait for its response, return the result
+        (or raise the server-reported error)."""
+        if self._closed:
+            raise ServerError("client is closed", kind="ClientClosed")
+        message = {"op": op, **args}
+        try:
+            self._conn.write_message(message)
+            response = self._conn.read_message()
+        except (OSError, socket.timeout) as exc:
+            self._closed = True
+            raise ServerError(
+                f"connection lost during {op!r}: {exc}", kind="ConnectionLost"
+            ) from exc
+        if response is None:
+            self._closed = True
+            raise ServerError(
+                f"server closed the connection during {op!r}", kind="ConnectionLost"
+            )
+        if not response.get("ok"):
+            raise_from_response(response)
+        return response.get("result")
+
+    # -- transactions ------------------------------------------------------
+
+    def begin(self) -> RemoteTransaction:
+        return RemoteTransaction(self, int(self.request("begin")))  # type: ignore[arg-type]
+
+    def commit(self) -> None:
+        self.request("commit")
+
+    def rollback(self) -> None:
+        self.request("rollback")
+
+    def savepoint(self, name: str) -> int:
+        return int(self.request("savepoint", name=name))  # type: ignore[arg-type]
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        self.request("rollback_to_savepoint", name=name)
+
+    @contextmanager
+    def transaction(self) -> Iterator[RemoteTransaction]:
+        """Commit on clean exit, roll back on exception (re-raised).
+        Mirrors ``Database.transaction``; if the server already aborted
+        the transaction (deadlock victim), the rollback is a no-op
+        failure that stays quiet."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            try:
+                self.rollback()
+            except ServerError:
+                pass  # already aborted server-side, or connection gone
+            raise
+        else:
+            self.commit()
+
+    # -- data ops ----------------------------------------------------------
+
+    def insert(self, table: str, row: dict) -> dict:
+        return self.request("insert", table=table, row=row)  # type: ignore[return-value]
+
+    def fetch(self, table: str, index: str, key: object, isolation: str = "rr"):
+        return self.request(
+            "fetch", table=table, index=index, key=key, isolation=isolation
+        )
+
+    def fetch_prefix(self, table: str, index: str, prefix: object):
+        return self.request("fetch_prefix", table=table, index=index, prefix=prefix)
+
+    def delete_by_key(self, table: str, index: str, key: object) -> dict:
+        return self.request("delete", table=table, index=index, key=key)  # type: ignore[return-value]
+
+    def scan(
+        self,
+        table: str,
+        index: str,
+        low: object | None = None,
+        high: object | None = None,
+        limit: int | None = None,
+        **kwargs: object,
+    ) -> list[dict]:
+        args: dict[str, object] = {"table": table, "index": index, **kwargs}
+        if low is not None:
+            args["low"] = low
+        if high is not None:
+            args["high"] = high
+        if limit is not None:
+            args["limit"] = limit
+        return self.request("scan", **args)  # type: ignore[return-value]
+
+    # -- DDL / admin -------------------------------------------------------
+
+    def create_table(self, name: str) -> None:
+        self.request("create_table", name=name)
+
+    def create_index(
+        self, table: str, name: str, column: str, unique: bool = False
+    ) -> None:
+        self.request(
+            "create_index", table=table, name=name, column=column, unique=unique
+        )
+
+    def ping(self) -> bool:
+        return self.request("ping") == "pong"
+
+    def server_stats(self, prefix: str = "") -> dict[str, int]:
+        return self.request("stats", prefix=prefix)  # type: ignore[return-value]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Polite goodbye; always closes the local transport."""
+        if self._closed:
+            return
+        try:
+            self.request("close")
+        except ServerError:
+            pass
+        finally:
+            self._closed = True
+            self._conn.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "DatabaseClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,152 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+One frame = a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Requests are objects with an ``"op"`` key plus op-specific
+arguments; responses are ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": "<kind>", "message": "..."}`` where ``kind``
+is the library exception class name (the client re-raises the matching
+class, so ``UniqueKeyViolationError`` round-trips as itself).
+
+Two transports speak it: a TCP socket on localhost and an in-process
+loopback built from :func:`socket.socketpair` — same framing, same
+code path, no TCP stack in unit tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.common import errors as _errors
+from repro.common.errors import ProtocolError, ServerError
+
+MAX_FRAME_BYTES = 4 << 20
+_HEADER = struct.Struct(">I")
+
+#: Exception classes a server may report and a client can re-raise.
+#: Anything not listed arrives client-side as a plain ServerError whose
+#: ``kind`` preserves the original class name.
+WIRE_ERRORS: dict[str, type[Exception]] = {
+    name: cls
+    for name, cls in vars(_errors).items()
+    if isinstance(cls, type) and issubclass(cls, _errors.ReproError)
+}
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialize ``message`` into one frame (header + JSON body)."""
+    try:
+        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serializable: {exc}") from exc
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body is {type(message).__name__}, not an object")
+    return message
+
+
+def error_response(exc: BaseException) -> dict:
+    kind = getattr(exc, "kind", None) or type(exc).__name__
+    return {"ok": False, "error": kind, "message": str(exc)}
+
+
+def raise_from_response(response: dict) -> None:
+    """Client side: re-raise the server-reported error, by kind."""
+    kind = response.get("error", "ServerError")
+    message = response.get("message", "")
+    cls = WIRE_ERRORS.get(kind)
+    if cls is None:
+        raise ServerError(message, kind=kind)
+    if issubclass(cls, ServerError):
+        raise cls(message, kind=kind)
+    try:
+        raise cls(message)
+    except TypeError:
+        # The class wants structured constructor args (DeadlockError
+        # takes a cycle) that don't cross the wire; rebuild it bare so
+        # callers can still dispatch on the type.
+        exc = cls.__new__(cls)
+        Exception.__init__(exc, message)
+        raise exc from None
+
+
+class SocketTransport:
+    """Blocking byte transport over one socket (TCP or socketpair)."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._closed = False
+
+    def send_bytes(self, data: bytes) -> None:
+        self._sock.sendall(data)
+
+    def recv_exactly(self, count: int) -> bytes:
+        """Read exactly ``count`` bytes; empty bytes on clean EOF at a
+        frame boundary, ProtocolError on EOF mid-frame."""
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 65536))
+            if not chunk:
+                if remaining == count:
+                    return b""
+                raise ProtocolError(
+                    f"connection closed mid-frame ({count - remaining}/{count} bytes)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def loopback_pair() -> tuple[SocketTransport, SocketTransport]:
+    """An in-process (server, client) transport pair — the loopback
+    tests and the load generator use instead of real TCP."""
+    server_sock, client_sock = socket.socketpair()
+    return SocketTransport(server_sock), SocketTransport(client_sock)
+
+
+class FrameConn:
+    """Frame-level reader/writer over a transport."""
+
+    def __init__(self, transport: SocketTransport) -> None:
+        self.transport = transport
+
+    def write_message(self, message: dict) -> None:
+        self.transport.send_bytes(encode_message(message))
+
+    def read_message(self) -> dict | None:
+        """Next message, or None on clean EOF."""
+        header = self.transport.recv_exactly(_HEADER.size)
+        if not header:
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+        return decode_body(self.transport.recv_exactly(length) if length else b"{}")
+
+    def close(self) -> None:
+        self.transport.close()

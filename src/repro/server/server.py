@@ -1,0 +1,353 @@
+"""The multi-threaded embedded database server.
+
+Architecture::
+
+    accept thread ──► one connection thread per session (frame I/O only)
+                                   │  submit(request)
+                                   ▼
+                      bounded queue (admission control)
+                                   │
+                      executor pool: N worker threads run Session.execute
+                                   │
+                      engine (latches/locks serialize page access;
+                      group commit coalesces the commit forces)
+
+Admission control: a request that cannot enter the bounded queue
+within the admission timeout is rejected with
+``ServerOverloadedError`` — backpressure instead of unbounded memory.
+A request that runs past the per-request timeout gets its connection
+dropped (the reply stream would be out of step otherwise); the worker
+finishes the op and then cleans the session up.
+
+Graceful shutdown drains in-flight requests, closes every session
+(rolling back open transactions), stops the workers, and takes a final
+checkpoint so restart starts from a quiesced log.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import threading
+from dataclasses import dataclass
+
+from repro.common.errors import (
+    ConfigError,
+    RequestTimeoutError,
+    ServerOverloadedError,
+    ServerShutdownError,
+)
+from repro.db import Database
+from repro.server.client import DatabaseClient
+from repro.server.protocol import (
+    FrameConn,
+    SocketTransport,
+    error_response,
+    loopback_pair,
+)
+from repro.server.session import Session
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    """0 = let the OS pick a free port (tests)."""
+    workers: int = 4
+    """Executor pool size — the bound on concurrent engine work."""
+    queue_depth: int = 64
+    """Bounded request queue; beyond it, admission control rejects."""
+    admission_timeout_seconds: float = 0.25
+    """How long a request may wait for a queue slot before rejection."""
+    request_timeout_seconds: float = 30.0
+    """How long a request may execute before its session is dropped."""
+    drain_timeout_seconds: float = 10.0
+    """How long graceful shutdown waits for in-flight work."""
+    checkpoint_on_shutdown: bool = True
+    max_scan_rows: int = 1000
+    """Hard cap on rows one scan response may carry."""
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError("workers must be at least 1")
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be at least 1")
+        if self.request_timeout_seconds <= 0 or self.drain_timeout_seconds <= 0:
+            raise ConfigError("timeouts must be positive")
+        if self.admission_timeout_seconds < 0:
+            raise ConfigError("admission_timeout_seconds must be >= 0")
+        if self.max_scan_rows < 1:
+            raise ConfigError("max_scan_rows must be at least 1")
+
+
+DEFAULT_SERVER_CONFIG = ServerConfig()
+
+_STOP = object()  # worker sentinel
+
+
+class _Job:
+    """One request in flight through the executor pool."""
+
+    __slots__ = ("session", "request", "done", "response", "timed_out", "lock")
+
+    def __init__(self, session: Session, request: dict) -> None:
+        self.session = session
+        self.request = request
+        self.done = threading.Event()
+        self.response: dict | None = None
+        self.timed_out = False
+        self.lock = threading.Lock()
+
+
+class DatabaseServer:
+    """Serve one :class:`~repro.db.Database` to many sessions."""
+
+    def __init__(
+        self, db: Database, config: ServerConfig = DEFAULT_SERVER_CONFIG
+    ) -> None:
+        self.db = db
+        self.config = config
+        self._queue: queue.Queue = queue.Queue(maxsize=config.queue_depth)
+        self._sessions: set[Session] = set()
+        self._sessions_lock = threading.Lock()
+        self._session_ids = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._workers: list[threading.Thread] = []
+        self._listener: socket.socket | None = None
+        self._address: tuple[str, int] | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = False
+        self._started = False
+        self._shutdown_done = False
+        self._executing = 0
+        self._executing_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, listen: bool = True) -> "DatabaseServer":
+        """Start the executor pool and (optionally) the TCP listener.
+
+        ``listen=False`` runs loopback-only — the in-process tests and
+        the crash torture harness don't need a real socket."""
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"db-worker-{i}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        if listen:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+            listener.listen(128)
+            self._listener = listener
+            self._address = listener.getsockname()
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="db-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) the TCP listener is bound to."""
+        if self._address is None:
+            raise ServerShutdownError("server is not listening")
+        return self._address
+
+    def connect(self, timeout: float | None = 30.0) -> DatabaseClient:
+        """New client over real TCP to this server."""
+        host, port = self.address
+        return DatabaseClient.connect(host, port, timeout=timeout)
+
+    def connect_loopback(self) -> DatabaseClient:
+        """New client over an in-process socketpair (no TCP stack)."""
+        if self._stopping or not self._started:
+            raise ServerShutdownError("server is not accepting sessions")
+        server_end, client_end = loopback_pair()
+        self._spawn_session(server_end)
+        return DatabaseClient(FrameConn(client_end))
+
+    def _spawn_session(self, transport: SocketTransport) -> Session:
+        session = Session(self, FrameConn(transport), next(self._session_ids))
+        with self._sessions_lock:
+            self._sessions.add(session)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        thread = threading.Thread(
+            target=session.serve,
+            name=f"db-session-{session.session_id}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+        return session
+
+    def forget_session(self, session: Session) -> None:
+        with self._sessions_lock:
+            self._sessions.discard(session)
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by shutdown
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._spawn_session(SocketTransport(sock))
+
+    # -- request path ------------------------------------------------------
+
+    def submit(self, session: Session, request: dict) -> dict | None:
+        """Admit, execute, and reply to one request.
+
+        Returns the response message, or None when the request timed
+        out (the session thread must stop reading — the worker still
+        owns the op and cleans up)."""
+        stats = self.db.stats
+        stats.incr("server.requests")
+        if self._stopping:
+            return error_response(ServerShutdownError("server is shutting down"))
+        job = _Job(session, request)
+        try:
+            self._queue.put(job, timeout=self.config.admission_timeout_seconds)
+        except queue.Full:
+            stats.incr("server.rejected_overload")
+            return error_response(
+                ServerOverloadedError(
+                    f"executor queue full ({self.config.queue_depth} deep) for "
+                    f"{self.config.admission_timeout_seconds}s"
+                )
+            )
+        stats.max_gauge("server.queue_peak", self._queue.qsize())
+        if job.done.wait(self.config.request_timeout_seconds):
+            return job.response
+        with job.lock:
+            if job.done.is_set():  # finished just as we gave up
+                return job.response
+            job.timed_out = True
+            session.abandoned = True
+        stats.incr("server.request_timeouts")
+        try:
+            session.conn.write_message(
+                error_response(
+                    RequestTimeoutError(
+                        f"request ran past {self.config.request_timeout_seconds}s; "
+                        "session closed"
+                    )
+                )
+            )
+        except OSError:
+            pass
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            with self._executing_lock:
+                self._executing += 1
+            try:
+                response = job.session.execute(job.request)
+            finally:
+                with self._executing_lock:
+                    self._executing -= 1
+            with job.lock:
+                job.response = response
+                job.done.set()
+                abandoned = job.timed_out
+            if abandoned:
+                # The connection thread already walked away; the op's
+                # session dies here, rolling back its transaction.
+                job.session.cleanup()
+
+    @property
+    def executing_count(self) -> int:
+        """Requests currently running on the executor pool (the torture
+        harness uses this to find a quiescent point to crash at)."""
+        with self._executing_lock:
+            return self._executing
+
+    @property
+    def session_count(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def shutdown(self, drain: bool = True, checkpoint: bool | None = None) -> bool:
+        """Stop the server.
+
+        ``drain=True`` (graceful): stop admitting, let queued and
+        running requests finish (up to the drain timeout), close every
+        session (open transactions roll back), stop the workers, and
+        take a final checkpoint.  ``drain=False`` (abort): drop
+        everything immediately and leave the database alone — the crash
+        harness uses this after ``db.crash()``.
+
+        Returns True if the drain completed before the timeout."""
+        import time
+
+        if not self._started or self._shutdown_done:
+            return True
+        self._shutdown_done = True
+        self._stopping = True
+        if self._listener is not None:
+            self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        drained = True
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout_seconds
+            while self._queue.qsize() > 0 or self.executing_count > 0:
+                if time.monotonic() > deadline:
+                    drained = False
+                    break
+                time.sleep(0.002)
+        # Unblock every session reader; cleanup rolls back open txns.
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            session.closing = True
+            session.conn.transport.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        for session in sessions:
+            if not session.abandoned:
+                session.cleanup()
+        # Settle whatever is still queued (abort path / failed drain) so
+        # session threads parked on job.done wake up and the bounded
+        # queue has room for the worker sentinels.
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            with job.lock:
+                job.response = error_response(
+                    ServerShutdownError("server shut down before execution")
+                )
+                job.done.set()
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        if checkpoint is None:
+            checkpoint = self.config.checkpoint_on_shutdown and drain
+        if checkpoint and not self.db.closed and not self.db._crashed:
+            self.db.checkpoint()
+        self.db.stats.incr("server.shutdowns")
+        if drained and drain:
+            self.db.stats.incr("server.drained_clean")
+        return drained
+
+    def abort(self) -> None:
+        """Hard stop that never touches the database (post-crash)."""
+        self.shutdown(drain=False, checkpoint=False)

@@ -1,0 +1,290 @@
+"""One client session: connection, transaction lifecycle, op dispatch.
+
+A session owns at most one open transaction at a time.  ``begin``
+opens it, ``commit``/``rollback`` close it, and data ops run inside it;
+a data op arriving with no transaction open runs *autocommit* (its own
+begin/op/commit — the common shape for the load generator's point
+requests).  Inside an explicit transaction every data op is wrapped in
+a statement savepoint, so a unique-key violation or missing key rolls
+back just that statement and the transaction stays usable — the same
+idiom the workload harness uses.
+
+The read/respond loop runs on the session's connection thread; the op
+itself executes on the server's worker pool (see
+:class:`~repro.server.server.DatabaseServer`), which is what bounds
+engine concurrency and applies backpressure.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.common.errors import (
+    DeadlockError,
+    KeyNotFoundError,
+    LockTimeoutError,
+    ProtocolError,
+    SessionStateError,
+    UniqueKeyViolationError,
+)
+from repro.server.protocol import FrameConn, error_response
+from repro.txn.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.server import DatabaseServer
+
+#: Statement errors that roll back to the statement savepoint but keep
+#: the surrounding transaction alive.
+_STATEMENT_ERRORS = (UniqueKeyViolationError, KeyNotFoundError)
+#: Errors that force the whole transaction dead (the engine requires a
+#: full rollback after a deadlock victim is chosen).
+_TXN_FATAL_ERRORS = (DeadlockError, LockTimeoutError)
+
+_STMT_SAVEPOINT = "__server_stmt__"
+
+
+class Session:
+    """Server-side state of one connected client."""
+
+    def __init__(
+        self, server: "DatabaseServer", conn: FrameConn, session_id: int
+    ) -> None:
+        self.server = server
+        self.conn = conn
+        self.session_id = session_id
+        self.txn: Transaction | None = None
+        self.closing = False
+        #: Set when a request timed out and the connection was dropped
+        #: while the op was still running; whoever finishes the op then
+        #: performs the cleanup.
+        self.abandoned = False
+        self._cleanup_done = False
+        self._cleanup_lock = threading.Lock()
+        self._ops: dict[str, Callable[[dict], object]] = {
+            "ping": self._op_ping,
+            "begin": self._op_begin,
+            "commit": self._op_commit,
+            "rollback": self._op_rollback,
+            "savepoint": self._op_savepoint,
+            "rollback_to_savepoint": self._op_rollback_to_savepoint,
+            "insert": self._op_insert,
+            "fetch": self._op_fetch,
+            "fetch_prefix": self._op_fetch_prefix,
+            "delete": self._op_delete,
+            "scan": self._op_scan,
+            "create_table": self._op_create_table,
+            "create_index": self._op_create_index,
+            "stats": self._op_stats,
+            "close": self._op_close,
+        }
+
+    # -- connection thread -------------------------------------------------
+
+    def serve(self) -> None:
+        """Read requests until EOF/close; one in-flight op at a time."""
+        stats = self.server.db.stats
+        stats.incr("server.sessions_opened")
+        try:
+            while not self.closing:
+                try:
+                    request = self.conn.read_message()
+                except ProtocolError as exc:
+                    try:
+                        self.conn.write_message(error_response(exc))
+                    except OSError:
+                        pass
+                    break
+                if request is None:  # client went away
+                    break
+                response = self.server.submit(self, request)
+                if response is None:
+                    # Request timed out; the worker still owns the op and
+                    # will clean up when it finishes.  Drop the line now —
+                    # the reply stream is out of step with the requests.
+                    return
+                try:
+                    self.conn.write_message(response)
+                except OSError:
+                    break
+        except OSError:
+            pass  # transport torn down under us (shutdown, crash harness)
+        finally:
+            if not self.abandoned:
+                self.cleanup()
+
+    def cleanup(self) -> None:
+        """Roll back the open transaction and drop the connection.
+        Idempotent and safe from any thread."""
+        with self._cleanup_lock:
+            if self._cleanup_done:
+                return
+            self._cleanup_done = True
+        txn, self.txn = self.txn, None
+        if txn is not None and txn.is_active:
+            try:
+                self.server.db.rollback(txn)
+            except Exception:
+                # Engine may have crashed under us; restart will undo.
+                self.server.db.stats.incr("server.cleanup_rollback_errors")
+        self.conn.close()
+        self.server.forget_session(self)
+        self.server.db.stats.incr("server.sessions_closed")
+
+    # -- executor thread ---------------------------------------------------
+
+    def execute(self, request: dict) -> dict:
+        """Run one request; always returns a response message."""
+        op = request.get("op")
+        handler = self._ops.get(op) if isinstance(op, str) else None
+        if handler is None:
+            return error_response(ProtocolError(f"unknown op {op!r}"))
+        try:
+            return {"ok": True, "result": handler(request)}
+        except _TXN_FATAL_ERRORS as exc:
+            self._abort_open_txn()
+            response = error_response(exc)
+            response["txn_aborted"] = True
+            return response
+        except Exception as exc:  # noqa: BLE001 - the wire needs *a* reply
+            return error_response(exc)
+
+    def _abort_open_txn(self) -> None:
+        txn, self.txn = self.txn, None
+        if txn is not None and txn.is_active:
+            try:
+                self.server.db.rollback(txn)
+            except Exception:
+                self.server.db.stats.incr("server.cleanup_rollback_errors")
+
+    # -- transaction ops ---------------------------------------------------
+
+    def _op_ping(self, request: dict) -> str:
+        return "pong"
+
+    def _op_begin(self, request: dict) -> int:
+        if self.txn is not None:
+            raise SessionStateError("transaction already open in this session")
+        self.txn = self.server.db.begin()
+        return self.txn.txn_id
+
+    def _require_txn(self) -> Transaction:
+        if self.txn is None:
+            raise SessionStateError("no transaction open in this session")
+        return self.txn
+
+    def _op_commit(self, request: dict) -> int:
+        txn = self._require_txn()
+        self.txn = None
+        self.server.db.commit(txn)
+        return txn.txn_id
+
+    def _op_rollback(self, request: dict) -> int:
+        txn = self._require_txn()
+        self.txn = None
+        self.server.db.rollback(txn)
+        return txn.txn_id
+
+    def _op_savepoint(self, request: dict) -> int:
+        return self.server.db.savepoint(self._require_txn(), request["name"])
+
+    def _op_rollback_to_savepoint(self, request: dict) -> None:
+        self.server.db.rollback_to_savepoint(self._require_txn(), request["name"])
+
+    # -- data ops ----------------------------------------------------------
+
+    def _run_statement(self, fn: Callable[[Transaction], object]) -> object:
+        """Run ``fn`` in the open transaction (statement savepoint) or
+        autocommit."""
+        db = self.server.db
+        if self.txn is not None:
+            db.savepoint(self.txn, _STMT_SAVEPOINT)
+            try:
+                return fn(self.txn)
+            except _STATEMENT_ERRORS:
+                db.rollback_to_savepoint(self.txn, _STMT_SAVEPOINT)
+                raise
+        with db.transaction() as txn:
+            return fn(txn)
+
+    def _op_insert(self, request: dict) -> dict:
+        table, row = request["table"], request["row"]
+        rid = self._run_statement(lambda txn: self.server.db.insert(txn, table, row))
+        return {"page_id": rid.page_id, "slot": rid.slot}
+
+    def _op_fetch(self, request: dict) -> dict | None:
+        return self._run_statement(
+            lambda txn: self.server.db.fetch(
+                txn,
+                request["table"],
+                request["index"],
+                request["key"],
+                isolation=request.get("isolation", "rr"),
+            )
+        )
+
+    def _op_fetch_prefix(self, request: dict) -> dict | None:
+        return self._run_statement(
+            lambda txn: self.server.db.fetch_prefix(
+                txn, request["table"], request["index"], request["prefix"]
+            )
+        )
+
+    def _op_delete(self, request: dict) -> dict:
+        return self._run_statement(
+            lambda txn: self.server.db.delete_by_key(
+                txn, request["table"], request["index"], request["key"]
+            )
+        )
+
+    def _op_scan(self, request: dict) -> list[dict]:
+        limit = min(
+            int(request.get("limit", self.server.config.max_scan_rows)),
+            self.server.config.max_scan_rows,
+        )
+
+        def scan(txn: Transaction) -> list[dict]:
+            rows: list[dict] = []
+            for _, row in self.server.db.scan(
+                txn,
+                request["table"],
+                request["index"],
+                low=request.get("low"),
+                high=request.get("high"),
+                low_comparison=request.get("low_comparison", ">="),
+                high_comparison=request.get("high_comparison", "<="),
+                isolation=request.get("isolation", "rr"),
+            ):
+                rows.append(row)
+                if len(rows) >= limit:
+                    break
+            return rows
+
+        return self._run_statement(scan)
+
+    # -- DDL / admin -------------------------------------------------------
+
+    def _op_create_table(self, request: dict) -> str:
+        self.server.db.create_table(request["name"])
+        return request["name"]
+
+    def _op_create_index(self, request: dict) -> str:
+        self.server.db.create_index(
+            request["table"],
+            request["name"],
+            column=request["column"],
+            unique=bool(request.get("unique", False)),
+        )
+        return request["name"]
+
+    def _op_stats(self, request: dict) -> dict[str, int]:
+        prefix = request.get("prefix", "")
+        return {
+            name: value
+            for name, value in self.server.db.stats.snapshot().items()
+            if name.startswith(prefix)
+        }
+
+    def _op_close(self, request: dict) -> str:
+        self.closing = True
+        return "bye"

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING
 
-from repro.common.errors import TransactionNotActiveError
+from repro.common.errors import LogHaltedError, TransactionNotActiveError
 from repro.common.stats import StatsRegistry
 from repro.txn.rm import ResourceManagerRegistry
 from repro.txn.transaction import Transaction, TxnStatus
@@ -106,12 +106,24 @@ class TransactionManager:
             raise TransactionNotActiveError(f"cannot commit {txn!r}")
         commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id)
         self.log_for(txn, commit)
-        self._log.force(txn.last_lsn)
+        # The one synchronous log I/O of the normal path.  Under group
+        # commit this parks until a batched flush covers the commit
+        # record and may raise CommitNotDurableError if a crash wins the
+        # race — in which case the transaction was never acknowledged
+        # and restart rolls it back.
+        self._log.force_for_commit(txn.last_lsn)
         txn.status = TxnStatus.COMMITTED
         released = self._locks.release_all(txn.txn_id)
         self._stats.incr("txn.locks_released_at_commit", released)
         end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id, undoable=False)
-        self.log_for(txn, end)
+        try:
+            self.log_for(txn, end)
+        except LogHaltedError:
+            # The commit record is already durable — the transaction IS
+            # committed and the caller must be acknowledged.  The END
+            # record (a crash landed right here) dies with the volatile
+            # tail; restart handles a committed transaction without one.
+            pass
         txn.status = TxnStatus.ENDED
         self.forget(txn.txn_id)
         self._stats.incr("txn.committed")

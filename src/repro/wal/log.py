@@ -10,16 +10,45 @@ forced) vanishes on :meth:`crash`.  The *master record* — the LSN of
 the last complete checkpoint's begin record — is stored in a separate
 stable cell and written atomically, like the master record on a real
 log device.
+
+Group commit (§1's synchronous-I/O measure is the motivation): when
+enabled, committing threads park on a condition variable and a
+dedicated flusher coalesces their force requests into one synchronous
+flush per batch — N commits cost ~1 log I/O instead of N.  A commit is
+acknowledged only after the flush covering its commit record returns;
+a crash that lands between batch enqueue and flush resolves the parked
+committers with :class:`CommitNotDurableError` (they were never
+acknowledged, so recovery is free to roll them back).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterator
 
-from repro.common.errors import CorruptLogError, LSNOutOfRangeError
+from repro.common.errors import (
+    CommitNotDurableError,
+    CorruptLogError,
+    LogHaltedError,
+    LSNOutOfRangeError,
+)
 from repro.common.stats import StatsRegistry
 from repro.wal.records import NULL_LSN, LogRecord
+
+
+class _CommitWaiter:
+    """One committer parked for a group-commit flush.
+
+    ``outcome`` is set exactly once, by whoever resolves the waiter:
+    the flusher (after its batched force) or :meth:`LogManager.crash`.
+    """
+
+    __slots__ = ("target", "outcome")
+
+    def __init__(self, target: int) -> None:
+        self.target = target  # byte offset the flush must reach
+        self.outcome: str | None = None  # "durable" | "lost"
 
 
 class LogManager:
@@ -36,6 +65,19 @@ class LogManager:
         #: Bytes dropped from the front by truncation.  LSNs are offsets
         #: into the *whole* stream ever written, so they stay stable.
         self._truncated = 0
+        #: Set by Database.crash(): refuse appends until restart begins,
+        #: so threads still running against the dead instance fail fast.
+        self._halted = False
+        # Group commit.  Lock ordering: _gc_cond may be held while
+        # taking _mutex, never the other way around.
+        self._gc_cond = threading.Condition()
+        self._gc_enabled = False
+        self._gc_max_batch = 64
+        self._gc_max_wait = 0.002
+        self._gc_waiters: list[_CommitWaiter] = []
+        self._gc_inflight: list[_CommitWaiter] = []
+        self._gc_hold = False
+        self._gc_thread: threading.Thread | None = None
 
     # -- append / force ----------------------------------------------------
 
@@ -46,6 +88,8 @@ class LogManager:
         covers it.
         """
         with self._mutex:
+            if self._halted:
+                raise LogHaltedError("log halted by crash; restart first")
             lsn = self._truncated + len(self._buffer) + 1
             record.lsn = lsn
             self._buffer += record.to_bytes()
@@ -61,16 +105,24 @@ class LogManager:
         Counts one synchronous log I/O if any bytes actually move.
         """
         with self._mutex:
-            if lsn is None or lsn == NULL_LSN:
-                target = self._truncated + len(self._buffer)
-            else:
-                record = self._records.get(lsn)
-                if record is None:
-                    # The record may predate this process (recovered log);
-                    # forcing to at least ``lsn`` bytes is always safe.
-                    target = min(lsn, self._truncated + len(self._buffer))
-                else:
-                    target = lsn - 1 + len(record.to_bytes())
+            target = self._force_target_locked(lsn)
+        self._force_bytes(target)
+
+    def _force_target_locked(self, lsn: int | None) -> int:
+        """Byte offset a force covering ``lsn`` must reach (mutex held)."""
+        if lsn is None or lsn == NULL_LSN:
+            return self._truncated + len(self._buffer)
+        record = self._records.get(lsn)
+        if record is None:
+            # The record may predate this process (recovered log);
+            # forcing to at least ``lsn`` bytes is always safe.
+            return min(lsn, self._truncated + len(self._buffer))
+        return lsn - 1 + len(record.to_bytes())
+
+    def _force_bytes(self, target: int) -> None:
+        """Make the stream durable up to byte offset ``target``."""
+        with self._mutex:
+            target = min(target, self._truncated + len(self._buffer))
             if target > self._flushed_len:
                 self._flushed_len = target
                 moved = True
@@ -78,6 +130,195 @@ class LogManager:
                 moved = False
         if moved:
             self._stats.incr("log.sync_forces")
+
+    # -- group commit ------------------------------------------------------
+
+    def start_group_commit(
+        self, max_batch: int = 64, max_wait_seconds: float = 0.002
+    ) -> None:
+        """Start the dedicated flusher; :meth:`force_for_commit` now
+        parks committers and coalesces their forces.  Idempotent."""
+        with self._gc_cond:
+            if self._gc_enabled:
+                return
+            self._gc_enabled = True
+            self._gc_max_batch = max_batch
+            self._gc_max_wait = max_wait_seconds
+            self._gc_thread = threading.Thread(
+                target=self._flusher_loop, name="wal-group-commit", daemon=True
+            )
+            self._gc_thread.start()
+
+    def stop_group_commit(self) -> None:
+        """Stop the flusher.  Anything still parked is flushed (one last
+        force) and acknowledged; later commits force individually."""
+        with self._gc_cond:
+            if not self._gc_enabled:
+                return
+            self._gc_enabled = False
+            self._gc_hold = False
+            leftovers = self._gc_waiters
+            self._gc_waiters = []
+            self._gc_cond.notify_all()
+            thread = self._gc_thread
+            self._gc_thread = None
+        if thread is not None:
+            thread.join()
+        if leftovers:
+            self._force_bytes(max(w.target for w in leftovers))
+        with self._gc_cond:
+            durable = self.flushed_lsn
+            for waiter in leftovers:
+                if waiter.outcome is None:
+                    waiter.outcome = "durable" if waiter.target <= durable else "lost"
+            self._gc_cond.notify_all()
+
+    @property
+    def group_commit_enabled(self) -> bool:
+        with self._gc_cond:
+            return self._gc_enabled
+
+    @property
+    def group_commit_parked(self) -> int:
+        """Committers currently parked (enqueued or mid-flush) — the
+        torture harness uses this to aim a crash at the enqueue→flush
+        window."""
+        with self._gc_cond:
+            return len(self._gc_waiters) + len(self._gc_inflight)
+
+    def hold_group_commit(self) -> None:
+        """Test hook: park incoming commits without flushing them, so a
+        crash can be landed between batch enqueue and flush."""
+        with self._gc_cond:
+            self._gc_hold = True
+
+    def release_group_commit(self) -> None:
+        with self._gc_cond:
+            self._gc_hold = False
+            self._gc_cond.notify_all()
+
+    def force_for_commit(self, lsn: int) -> None:
+        """Durability point of a commit.
+
+        With group commit off this is exactly :meth:`force`.  With it
+        on, the committer parks until a batched flush covers its commit
+        record; raises :class:`CommitNotDurableError` if a crash wins
+        the race (the commit was never acknowledged).
+        """
+        with self._gc_cond:
+            enabled = self._gc_enabled
+        if not enabled:
+            self.force(lsn)
+            return
+        self._stats.incr("log.group_commit_requests")
+        with self._gc_cond:
+            # Atomic with crash resolution: halt is set before crash()
+            # settles parked waiters, so we either see the halt here or
+            # get settled by the crash — never park forever.
+            with self._mutex:
+                if self._halted:
+                    raise CommitNotDurableError(
+                        f"commit at LSN {lsn} lost: log halted by crash"
+                    )
+                target = self._force_target_locked(lsn)
+                if target <= self._flushed_len:
+                    return  # already durable (a later force covered it)
+            if not self._gc_enabled:
+                # Lost a race with stop_group_commit(): force directly.
+                self._force_bytes(target)
+                return
+            waiter = _CommitWaiter(target)
+            self._gc_waiters.append(waiter)
+            self._gc_cond.notify_all()
+            while waiter.outcome is None:
+                self._gc_cond.wait()
+        if waiter.outcome == "lost":
+            raise CommitNotDurableError(
+                f"commit at LSN {lsn} lost: crash before the batched flush"
+            )
+
+    def _flusher_loop(self) -> None:
+        while True:
+            with self._gc_cond:
+                while self._gc_enabled and (not self._gc_waiters or self._gc_hold):
+                    self._gc_cond.wait()
+                if not self._gc_enabled:
+                    return
+                # Coalescing window: wait for stragglers up to max_wait
+                # or until the batch is full.
+                deadline = time.monotonic() + self._gc_max_wait
+                while (
+                    self._gc_enabled
+                    and not self._gc_hold
+                    and len(self._gc_waiters) < self._gc_max_batch
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._gc_cond.wait(remaining)
+                if not self._gc_enabled:
+                    return
+                if self._gc_hold or not self._gc_waiters:
+                    # Held, or a crash settled every waiter while we sat
+                    # in the coalescing window — nothing to flush.
+                    continue
+                self._gc_inflight = self._gc_waiters
+                self._gc_waiters = []
+                batch = self._gc_inflight
+                target = max(w.target for w in batch)
+            self._force_bytes(target)  # ONE synchronous I/O for the batch
+            with self._gc_cond:
+                durable = self.flushed_lsn
+                resolved = 0
+                for waiter in batch:
+                    if waiter.outcome is None:  # crash may have resolved it
+                        waiter.outcome = (
+                            "durable" if waiter.target <= durable else "lost"
+                        )
+                    if waiter.outcome == "durable":
+                        resolved += 1
+                self._gc_inflight = []
+                self._gc_cond.notify_all()
+            self._stats.incr("log.group_commit_batches")
+            if resolved > 1:
+                self._stats.incr("log.group_commit_flushes_saved", resolved - 1)
+
+    def _resolve_waiters_after_crash(self) -> None:
+        """Settle every parked committer: durable if its bytes made the
+        forced prefix, lost otherwise (it was never acknowledged)."""
+        with self._gc_cond:
+            durable = self.flushed_lsn
+            pending = self._gc_waiters + self._gc_inflight
+            self._gc_waiters = []
+            self._gc_inflight = []
+            lost = 0
+            for waiter in pending:
+                if waiter.outcome is None:
+                    if waiter.target <= durable:
+                        waiter.outcome = "durable"
+                    else:
+                        waiter.outcome = "lost"
+                        lost += 1
+            self._gc_cond.notify_all()
+        if lost:
+            self._stats.incr("log.group_commit_lost_in_crash", lost)
+
+    # -- crash halt --------------------------------------------------------
+
+    def halt(self) -> None:
+        """Refuse appends until :meth:`resume` (set by Database.crash so
+        straggler threads cannot write stale records post-crash)."""
+        with self._mutex:
+            self._halted = True
+
+    def resume(self) -> None:
+        with self._mutex:
+            self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        with self._mutex:
+            return self._halted
 
     @property
     def flushed_lsn(self) -> int:
@@ -254,4 +495,8 @@ class LogManager:
             self._records = survivors
             # Whatever survived is on stable storage by definition.
             self._flushed_len = self._truncated + keep
+        # Committers parked for a group-commit flush are settled now:
+        # durable if their record made the forced prefix, lost if the
+        # crash beat the batched flush.
+        self._resolve_waiters_after_crash()
         self._stats.incr("log.crashes")

@@ -56,6 +56,76 @@ class TestCounters:
         assert "latch" not in table
 
 
+class TestConcurrency:
+    """The registry's documented guarantees under many threads: incr is
+    an atomic read-modify-write, snapshot is a consistent point-in-time
+    copy, max_gauge is an atomic compare-and-raise.  The server's
+    executor pool depends on all three."""
+
+    def test_concurrent_incr_across_many_counters(self):
+        stats = StatsRegistry()
+        names = [f"c{i}" for i in range(16)]
+
+        def bump(seed: int) -> None:
+            for i in range(2000):
+                stats.incr(names[(seed + i) % len(names)])
+
+        threads = [threading.Thread(target=bump, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = stats.snapshot()
+        assert sum(snap[name] for name in names) == 8 * 2000
+
+    def test_snapshot_is_consistent_under_writers(self):
+        """Two counters always bumped together in one incr-pair; a
+        snapshot may lag but must never see a negative diff when the
+        writers keep a+b invariantly even."""
+        stats = StatsRegistry()
+        stop = threading.Event()
+
+        def writer() -> None:
+            while not stop.is_set():
+                stats.incr("pair", 2)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                assert stats.snapshot().get("pair", 0) % 2 == 0
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+    def test_max_gauge_concurrent_raise_to_max(self):
+        stats = StatsRegistry()
+
+        def racer(base: int) -> None:
+            for value in range(base, base + 500):
+                stats.max_gauge("peak", value)
+
+        threads = [threading.Thread(target=racer, args=(b,)) for b in (0, 250, 500)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.get("peak") == 999
+
+    def test_max_gauge_never_lowers(self):
+        stats = StatsRegistry()
+        stats.max_gauge("peak", 10)
+        stats.max_gauge("peak", 3)
+        assert stats.get("peak") == 10
+
+    def test_disabled_registry_max_gauge_noop(self):
+        stats = StatsRegistry(enabled=False)
+        stats.max_gauge("peak", 10)
+        assert stats.get("peak") == 0
+
+
 class TestLockAudit:
     def test_audit_disabled_by_default(self):
         stats = StatsRegistry()

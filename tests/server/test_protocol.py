@@ -1,0 +1,122 @@
+"""Wire protocol: framing, error round-trips, transport edge cases."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.errors import (
+    DeadlockError,
+    KeyNotFoundError,
+    ProtocolError,
+    ServerError,
+    ServerOverloadedError,
+    UniqueKeyViolationError,
+)
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    FrameConn,
+    encode_message,
+    error_response,
+    loopback_pair,
+    raise_from_response,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        server_end, client_end = loopback_pair()
+        a, b = FrameConn(server_end), FrameConn(client_end)
+        message = {"op": "insert", "row": {"id": 7, "pad": "x" * 100}}
+        a.write_message(message)
+        assert b.read_message() == message
+        b.write_message({"ok": True, "result": None})
+        assert a.read_message() == {"ok": True, "result": None}
+        a.close()
+        b.close()
+
+    def test_eof_at_boundary_is_none(self):
+        server_end, client_end = loopback_pair()
+        a, b = FrameConn(server_end), FrameConn(client_end)
+        a.close()
+        assert b.read_message() is None
+        b.close()
+
+    def test_eof_mid_frame_raises(self):
+        server_end, client_end = loopback_pair()
+        b = FrameConn(client_end)
+        # A header promising 100 bytes, then the line dies.
+        server_end.send_bytes(b"\x00\x00\x00\x64partial")
+        server_end.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            b.read_message()
+        b.close()
+
+    def test_non_json_body_raises(self):
+        server_end, client_end = loopback_pair()
+        b = FrameConn(client_end)
+        server_end.send_bytes(b"\x00\x00\x00\x03zzz")
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            b.read_message()
+        server_end.close()
+        b.close()
+
+    def test_oversized_header_rejected_before_reading(self):
+        server_end, client_end = loopback_pair()
+        b = FrameConn(client_end)
+        server_end.send_bytes((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            b.read_message()
+        server_end.close()
+        b.close()
+
+    def test_unserializable_message_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON-serializable"):
+            encode_message({"op": object()})
+
+    def test_interleaved_messages_keep_order(self):
+        server_end, client_end = loopback_pair()
+        a, b = FrameConn(server_end), FrameConn(client_end)
+
+        def writer():
+            for i in range(50):
+                a.write_message({"seq": i})
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        got = [b.read_message()["seq"] for _ in range(50)]
+        thread.join(5.0)
+        assert got == list(range(50))
+        a.close()
+        b.close()
+
+
+class TestErrorRoundTrip:
+    def test_simple_error_reraises_as_itself(self):
+        response = error_response(UniqueKeyViolationError("dup key 7"))
+        with pytest.raises(UniqueKeyViolationError, match="dup key 7"):
+            raise_from_response(response)
+
+    def test_structured_ctor_error_rebuilt_bare(self):
+        """DeadlockError takes a cycle argument that doesn't cross the
+        wire; the client must still get a DeadlockError."""
+        response = {"ok": False, "error": "DeadlockError", "message": "victim: 3"}
+        with pytest.raises(DeadlockError, match="victim: 3"):
+            raise_from_response(response)
+
+    def test_unknown_kind_falls_back_to_server_error(self):
+        response = {"ok": False, "error": "NoSuchError", "message": "?"}
+        with pytest.raises(ServerError) as info:
+            raise_from_response(response)
+        assert info.value.kind == "NoSuchError"
+
+    def test_server_error_subclass_keeps_kind(self):
+        response = error_response(ServerOverloadedError("queue full"))
+        with pytest.raises(ServerOverloadedError) as info:
+            raise_from_response(response)
+        assert info.value.kind == "ServerOverloadedError"
+
+    def test_key_not_found_round_trip(self):
+        with pytest.raises(KeyNotFoundError):
+            raise_from_response(error_response(KeyNotFoundError("key 9")))

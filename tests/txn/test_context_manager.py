@@ -1,8 +1,9 @@
-"""The ``with db.transaction()`` scope."""
+"""The ``with db.transaction()`` scope and the database lifecycle
+(``close()`` / ``with Database() as db``)."""
 
 import pytest
 
-from repro.common.errors import UniqueKeyViolationError
+from repro.common.errors import DatabaseClosedError, UniqueKeyViolationError
 from repro.txn.transaction import TxnStatus
 from tests.conftest import build_db
 
@@ -69,3 +70,66 @@ class TestTransactionScope:
         with db.transaction() as check:
             assert db.fetch(check, "t", "by_id", 10) is not None
             assert db.fetch(check, "t", "by_id", 20) is not None
+
+
+class TestDatabaseLifecycle:
+    def test_close_is_idempotent_and_flushes(self):
+        db = make_db()
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 1, "val": "v"})
+        db.close()
+        assert db.closed
+        db.close()  # second close is a no-op
+        assert db.stats.get("db.closes") == 1
+        # Everything dirty was flushed: the log has no unforced bytes.
+        assert db.log.unforced_bytes == 0
+
+    def test_begin_after_close_raises(self):
+        db = make_db()
+        db.close()
+        with pytest.raises(DatabaseClosedError):
+            db.begin()
+
+    def test_close_rolls_back_active_transactions(self):
+        db = make_db()
+        txn = db.begin()
+        db.insert(txn, "t", {"id": 2, "val": "v"})
+        db.close()
+        assert db.txns.active_transactions() == []
+        assert txn.status is TxnStatus.ENDED
+
+    def test_context_manager_closes(self):
+        with make_db() as db:
+            with db.transaction() as txn:
+                db.insert(txn, "t", {"id": 3, "val": "v"})
+        assert db.closed
+
+    def test_context_manager_closes_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with make_db() as db:
+                raise RuntimeError("boom")
+        assert db.closed
+
+    def test_close_takes_final_checkpoint(self):
+        db = make_db()
+        before = db.stats.get("recovery.checkpoints_taken")
+        db.close()
+        assert db.stats.get("recovery.checkpoints_taken") == before + 1
+
+    def test_close_stops_group_commit_flusher(self):
+        db = build_db(group_commit=True)
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+        assert db.log.group_commit_enabled
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 1})
+        db.close()
+        assert not db.log.group_commit_enabled
+
+    def test_close_after_crash_skips_flush_work(self):
+        db = make_db()
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 4, "val": "v"})
+        db.crash()
+        db.close()  # must not touch the dead instance's volatile state
+        assert db.closed

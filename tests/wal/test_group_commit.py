@@ -1,0 +1,238 @@
+"""Group commit: coalesced flushes, durability, crash resolution.
+
+The flusher thread parks committers on a condition variable and covers
+a whole batch with one synchronous force.  These tests exercise the
+mechanism directly through LogManager and through the Database facade:
+coalescing actually saves flushes, an acknowledged commit is always
+durable, and a crash landing between batch enqueue and flush settles
+every parked committer with CommitNotDurableError.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import CommitNotDurableError, LogHaltedError
+from repro.wal.log import LogManager
+from repro.wal.records import LogRecord, RecordKind
+
+from tests.conftest import build_db
+
+
+def _append(log: LogManager, txn_id: int = 1) -> int:
+    return log.append(LogRecord(kind=RecordKind.COMMIT, txn_id=txn_id))
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.001)
+    return predicate()
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        log = LogManager()
+        assert not log.group_commit_enabled
+        lsn = _append(log)
+        log.force_for_commit(lsn)  # plain force path
+        assert log.flushed_lsn >= lsn
+
+    def test_start_stop_idempotent(self):
+        log = LogManager()
+        log.start_group_commit()
+        log.start_group_commit()
+        assert log.group_commit_enabled
+        log.stop_group_commit()
+        log.stop_group_commit()
+        assert not log.group_commit_enabled
+
+    def test_stop_flushes_leftovers(self):
+        log = LogManager()
+        log.start_group_commit(max_wait_seconds=0.001)
+        log.hold_group_commit()
+        lsn = _append(log)
+        done = threading.Event()
+
+        def committer():
+            log.force_for_commit(lsn)
+            done.set()
+
+        thread = threading.Thread(target=committer)
+        thread.start()
+        assert _wait_until(lambda: log.group_commit_parked == 1)
+        # Stop while held: leftovers must still be flushed and acked.
+        log.stop_group_commit()
+        assert done.wait(5.0)
+        thread.join(5.0)
+        assert log.flushed_lsn >= lsn
+
+
+class TestCoalescing:
+    def test_batch_costs_one_sync_force(self):
+        """N parked committers resolve with a single synchronous I/O."""
+        log = LogManager()
+        log.start_group_commit(max_wait_seconds=0.05)
+        log.hold_group_commit()
+        lsns = [_append(log, txn_id=i + 1) for i in range(8)]
+        threads = [
+            threading.Thread(target=log.force_for_commit, args=(lsn,))
+            for lsn in lsns
+        ]
+        for thread in threads:
+            thread.start()
+        assert _wait_until(lambda: log.group_commit_parked == 8)
+        log.release_group_commit()
+        for thread in threads:
+            thread.join(5.0)
+        assert log.flushed_lsn >= max(lsns)
+        log.stop_group_commit()
+
+    def test_flushes_saved_counter(self):
+        """Concurrent committers on a database show flushes saved in
+        the stats (the e15/acceptance assertion in miniature)."""
+        db = build_db(group_commit=True, group_commit_max_wait_seconds=0.005)
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+
+        def writer(base: int) -> None:
+            for i in range(10):
+                with db.transaction() as txn:
+                    db.insert(txn, "t", {"id": base + i})
+
+        threads = [threading.Thread(target=writer, args=(1000 * w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        snap = db.stats.snapshot()
+        commits = snap.get("txn.committed", 0)
+        forces = snap.get("log.sync_forces", 0)
+        assert commits >= 80
+        assert snap.get("log.group_commit_requests", 0) >= 80
+        assert snap.get("log.group_commit_batches", 0) >= 1
+        assert snap.get("log.group_commit_flushes_saved", 0) > 0
+        # The point of the feature: far fewer sync I/Os than commits.
+        assert forces < commits
+        db.close()
+
+    def test_already_durable_commit_returns_without_parking(self):
+        log = LogManager()
+        log.start_group_commit()
+        lsn = _append(log)
+        log.force()  # covers the record before the commit asks
+        log.force_for_commit(lsn)  # must not park or deadlock
+        log.stop_group_commit()
+
+
+class TestCrashResolution:
+    def test_crash_between_enqueue_and_flush_raises(self):
+        """The acceptance-criteria window: committers parked when the
+        crash lands were never acknowledged and must learn it."""
+        log = LogManager()
+        log.start_group_commit()
+        log.hold_group_commit()
+        lsns = [_append(log, txn_id=i + 1) for i in range(3)]
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def committer(lsn: int) -> None:
+            try:
+                log.force_for_commit(lsn)
+            except CommitNotDurableError:
+                with lock:
+                    outcomes.append("lost")
+            else:
+                with lock:
+                    outcomes.append("durable")
+
+        threads = [threading.Thread(target=committer, args=(lsn,)) for lsn in lsns]
+        for thread in threads:
+            thread.start()
+        assert _wait_until(lambda: log.group_commit_parked == 3)
+        log.halt()
+        log.crash()
+        for thread in threads:
+            thread.join(5.0)
+        assert outcomes == ["lost", "lost", "lost"]
+        log.stop_group_commit()
+
+    def test_crash_after_flush_is_durable(self):
+        """A committer whose batch flushed before the crash was
+        acknowledged; the crash must not retract that."""
+        log = LogManager()
+        log.start_group_commit(max_wait_seconds=0.001)
+        lsn = _append(log)
+        log.force_for_commit(lsn)  # returns only after the flush
+        log.halt()
+        log.crash()
+        # The record survived the crash.
+        assert log.flushed_lsn >= lsn
+
+    def test_commit_after_halt_fails_fast(self):
+        log = LogManager()
+        log.start_group_commit()
+        lsn = _append(log)
+        log.halt()
+        with pytest.raises(CommitNotDurableError):
+            log.force_for_commit(lsn)
+        with pytest.raises(LogHaltedError):
+            _append(log)
+        log.stop_group_commit()
+
+
+class TestDatabaseIntegration:
+    def test_lost_commit_never_visible_after_restart(self):
+        """A transaction whose commit raised CommitNotDurableError is
+        rolled back by restart — its row must not reappear."""
+        db = build_db(group_commit=True)
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 1})
+        db.log.hold_group_commit()
+        result: list[str] = []
+
+        def committer() -> None:
+            txn = db.begin()
+            db.insert(txn, "t", {"id": 2})
+            try:
+                db.commit(txn)
+            except CommitNotDurableError:
+                result.append("lost")
+            else:
+                result.append("durable")
+
+        thread = threading.Thread(target=committer)
+        thread.start()
+        assert _wait_until(lambda: db.log.group_commit_parked > 0)
+        db.crash()
+        db.log.release_group_commit()
+        thread.join(5.0)
+        assert result == ["lost"]
+        db.restart()
+        txn = db.begin()
+        assert db.fetch(txn, "t", "by_id", 1) is not None  # acked → durable
+        assert db.fetch(txn, "t", "by_id", 2) is None  # lost → gone
+        db.commit(txn)
+        db.close()
+
+    def test_acknowledged_commits_survive_crash(self):
+        db = build_db(group_commit=True, group_commit_max_wait_seconds=0.001)
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+        for key in range(20):
+            with db.transaction() as txn:
+                db.insert(txn, "t", {"id": key})
+        db.crash()
+        db.restart()
+        txn = db.begin()
+        for key in range(20):
+            assert db.fetch(txn, "t", "by_id", key) is not None
+        db.commit(txn)
+        db.close()
