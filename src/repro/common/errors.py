@@ -91,6 +91,33 @@ class CommitNotDurableError(WALError):
     """
 
 
+class ReplicationError(ReproError):
+    """Base class for log-shipping replication failures."""
+
+
+class ArchiveGapError(ReplicationError):
+    """A WAL archive chunk does not join contiguously onto the archive
+    (log space was discarded without passing through the archiver, so
+    point-in-time recovery across the gap is impossible)."""
+
+
+class SyncReplicationTimeoutError(ReplicationError):
+    """A commit waited longer than the configured bound for a standby
+    to acknowledge durable receipt of its commit record.
+
+    The commit *is* durable on the primary — the transaction is
+    committed locally — but the caller was not acknowledged under the
+    synchronous-replication contract, so a failover may or may not
+    carry it: the classic in-doubt window, surfaced explicitly.
+    """
+
+
+class StandbyError(ReplicationError):
+    """A standby operation was illegal in its current state (e.g. a
+    write attempted against a read-only hot standby, or promotion of a
+    standby that never finished seeding)."""
+
+
 class LockError(ReproError):
     """Base class for lock-manager failures."""
 

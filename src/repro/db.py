@@ -104,6 +104,10 @@ class Database:
         self._indexes_by_id: dict[int, BTree] = {}
         self._table_ids = itertools.count(1)
         self._index_ids = itertools.count(1)
+        #: WAL archive receiving truncated prefixes (attach_archive).
+        self.archive = None
+        #: Primary-side replication state (enable_replication).
+        self.replication = None
         self._crashed = False
         self._closed = False
 
@@ -381,6 +385,47 @@ class Database:
                 candidates.append(txn.first_lsn)
         return self.log.truncate_prefix(min(candidates))
 
+    # -- replication / archiving ------------------------------------------------------
+
+    def attach_archive(self, archive=None):
+        """Attach a WAL archive: every byte :meth:`trim_log` would
+        discard is archived first (the archive hook vetoes truncation
+        on failure), preserving the full record history for
+        point-in-time restore and page rebuilds."""
+        from repro.replication.archive import WalArchive
+
+        if archive is None:
+            archive = WalArchive(stats=self.stats)
+        self.archive = archive
+        self.log.set_archiver(archive.append_chunk)
+        return archive
+
+    def enable_replication(
+        self, sync: bool = False, sync_timeout_seconds: float = 5.0
+    ):
+        """Become a replication primary: serve snapshot/poll/ack
+        requests (the server exposes them as ``repl_*`` ops) and, with
+        ``sync=True``, hold commit acknowledgements until every
+        attached standby has the commit record durable."""
+        from repro.replication.manager import ReplicationManager
+
+        self.replication = ReplicationManager(
+            self, sync=sync, sync_timeout_seconds=sync_timeout_seconds
+        )
+        self.txns.commit_gate = self.replication.commit_gate
+        return self.replication
+
+    def history_records(self, from_lsn: int = 1) -> Iterator[LogRecord]:
+        """Iterate the *full* record history from ``from_lsn``: archived
+        segments for any truncated prefix, then the live log.  Without
+        an archive this degrades to the live log alone (history before
+        the truncation point is simply gone, as before)."""
+        truncation = self.log.truncation_point
+        if from_lsn < truncation and self.archive is not None:
+            yield from self.archive.records(from_lsn, upto=truncation)
+            from_lsn = truncation
+        yield from self.log.records(max(from_lsn, truncation))
+
     def _maybe_checkpoint(self) -> None:
         """Fuzzy-checkpoint automatically every
         ``checkpoint_interval_records`` log records (0 disables)."""
@@ -473,6 +518,12 @@ class Database:
         )
         self.txns = TransactionManager(self.log, self.locks, self.rm_registry, self.stats)
         self.failpoints.disarm_all(crash_paused=True)
+        if self.replication is not None:
+            # Wake synchronous commits parked for a standby ack (their
+            # outcome is in-doubt) and keep the gate wired into the
+            # fresh transaction manager.
+            self.replication.primary_crashed()
+            self.txns.commit_gate = self.replication.commit_gate
         self._crashed = True
         self.stats.incr("db.crashes")
 
@@ -482,6 +533,8 @@ class Database:
         report = run_restart(self)
         self._rebuild_heap_views()
         self._bump_txn_ids()
+        if self.replication is not None:
+            self.replication.primary_restarted()
         self._crashed = False
         return report
 

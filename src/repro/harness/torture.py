@@ -541,3 +541,271 @@ def run_multisession(
         )
         for seed in seeds
     ]
+
+
+# -- failover torture mode ---------------------------------------------------
+#
+# The multi-session rounds above verify the durability contract against
+# a *restart* of the same database.  This mode verifies it against a
+# *failover*: a hot standby replicates the primary over the loopback
+# wire protocol while the client workload runs, the primary crashes
+# mid-load (including inside the group-commit flush window), the
+# standby is promoted, and the promoted database must agree exactly
+# with the acked commit set:
+#
+#   * every ACKED commit is visible on the promoted database;
+#   * every commit answered with CommitNotDurableError is absent;
+#   * in-doubt responses (the line died mid-request) may go either way;
+#   * in ``sync`` mode the standby is promoted *without* draining the
+#     dead primary's remaining WAL — the synchronous commit gate alone
+#     must guarantee every acked commit already reached the standby.
+#
+# In the async modes the standby first drains the primary's durable
+# prefix (the primary process is "dead" but its stable log is
+# readable — exactly the real-world drain from the dead node's disk),
+# after which the promoted state must equal what restarting the old
+# primary itself would have produced.
+
+
+@dataclass(frozen=True)
+class FailoverSpec:
+    """Parameters of one failover torture round."""
+
+    seed: int = 0
+    sessions: int = 4
+    requests_per_session: int = 24
+    key_space: int = 160
+    initial_keys: int = 20
+    page_size: int = 1024
+    buffer_pool_pages: int = 64
+    insert_fraction: float = 0.65
+    crash_mode: str = "held_flush"
+    """``held_flush``: pin the flusher, crash into the enqueue→flush
+    window, drain, promote.  ``racing``: crash at a random moment with
+    the flusher live, drain, promote.  ``sync``: synchronous
+    replication, crash racing, promote with NO drain — the gate is the
+    only thing standing between an acked commit and oblivion."""
+    crash_after_requests: int = 30
+
+
+@dataclass
+class FailoverReport:
+    """Outcome of one failover round (invariants already asserted)."""
+
+    seed: int
+    crash_mode: str
+    sync: bool = False
+    acked_requests: int = 0
+    lost_commits: int = 0
+    indeterminate_keys: int = 0
+    parked_at_crash: int = 0
+    records_replayed: int = 0
+    txns_rolled_back_at_promotion: int = 0
+    primary_agreement_checked: bool = False
+
+
+def run_failover_round(spec: FailoverSpec) -> FailoverReport:
+    """One primary-crash → standby-promotion round."""
+    import threading
+    import time
+
+    from repro.replication import Standby
+    from repro.server.server import DatabaseServer, ServerConfig
+
+    sync = spec.crash_mode == "sync"
+    config = DatabaseConfig(
+        page_size=spec.page_size,
+        buffer_pool_pages=spec.buffer_pool_pages,
+        group_commit=True,
+        group_commit_max_wait_seconds=0.001,
+        lock_timeout_seconds=1.0,
+        latch_timeout_seconds=5.0,
+    )
+    db = Database(config)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    txn = db.begin()
+    initial: list[int] = []
+    for i in range(spec.initial_keys):
+        key = (i * 7) % spec.key_space
+        if key not in initial:
+            db.insert(txn, "t", {"id": key, "val": "seed"})
+            initial.append(key)
+    db.commit(txn)
+    db.enable_replication(sync=sync, sync_timeout_seconds=2.0)
+
+    server = DatabaseServer(
+        db,
+        ServerConfig(
+            workers=spec.sessions,
+            queue_depth=spec.sessions * 4,
+            request_timeout_seconds=10.0,
+            drain_timeout_seconds=10.0,
+        ),
+    ).start(listen=False)
+    # start() seeds synchronously: by the time it returns the standby is
+    # registered, so (in sync mode) no acked commit can slip past the gate.
+    standby = Standby(
+        lambda: server.connect_loopback(),
+        name=f"failover-{spec.seed}",
+        poll_wait_seconds=0.02,
+    ).start()
+
+    workers = [_SessionWorker(i, spec, server) for i in range(spec.sessions)]
+    for worker in workers:
+        for key in initial:
+            if key % spec.sessions == worker.worker_id:
+                worker.state[key] = True
+    threads = [threading.Thread(target=worker.run) for worker in workers]
+    for thread in threads:
+        thread.start()
+
+    report = FailoverReport(seed=spec.seed, crash_mode=spec.crash_mode, sync=sync)
+
+    def total_acked() -> int:
+        return sum(w.acked for w in workers)
+
+    deadline = time.monotonic() + 10.0
+    while total_acked() < spec.crash_after_requests and time.monotonic() < deadline:
+        if not any(t.is_alive() for t in threads):
+            break
+        time.sleep(0.001)
+
+    if spec.crash_mode == "held_flush":
+        # Crash with commits parked between group-commit enqueue and
+        # flush: their records exist only in the volatile tail, and the
+        # standby must never have seen them.
+        db.log.hold_group_commit()
+        deadline = time.monotonic() + 1.0
+        while db.log.group_commit_parked == 0 and time.monotonic() < deadline:
+            if not any(t.is_alive() for t in threads):
+                break
+            time.sleep(0.001)
+        report.parked_at_crash = db.log.group_commit_parked
+        db.crash()
+        db.log.release_group_commit()
+    elif spec.crash_mode in ("racing", "sync"):
+        report.parked_at_crash = db.log.group_commit_parked
+        db.crash()
+    else:
+        raise ValueError(f"unknown crash_mode {spec.crash_mode!r}")
+
+    durable_horizon = db.log.flushed_lsn
+    _check(
+        standby.db.log.end_lsn <= durable_horizon + 1,
+        spec.seed,
+        f"{spec.crash_mode}: standby received bytes past the primary's "
+        f"durable prefix",
+    )
+
+    if sync:
+        # No drain: the dead primary's log is unreachable from now on.
+        server.abort()
+        _join_all(threads, spec.seed)
+    else:
+        _join_all(threads, spec.seed)
+        # Drain the remaining durable WAL from the dead primary's
+        # stable storage (the engine is halted; its flushed prefix is
+        # still servable), then cut the cord.
+        _check(
+            standby.wait_for_lsn(durable_horizon, timeout=10.0),
+            spec.seed,
+            f"{spec.crash_mode}: standby failed to drain the durable "
+            f"prefix to {durable_horizon}: {standby.status()}",
+        )
+        server.abort()
+
+    promote_report = standby.promote()
+    promoted = standby.db
+    report.acked_requests = total_acked()
+    report.lost_commits = sum(w.lost for w in workers)
+    report.indeterminate_keys = len(set().union(*(w.unknown for w in workers)))
+    report.records_replayed = promoted.stats.snapshot().get(
+        "standby.records_replayed", 0
+    )
+    report.txns_rolled_back_at_promotion = (
+        promote_report.undo.transactions_rolled_back
+    )
+
+    _check(
+        promoted.verify_indexes() == {},
+        spec.seed,
+        f"{spec.crash_mode}: promoted index structure invalid",
+    )
+    txn = promoted.begin()
+    survivors = {row["id"] for _, row in promoted.scan(txn, "t", "by_id")}
+    promoted.commit(txn)
+    for worker in workers:
+        for key, present in worker.state.items():
+            if key in worker.unknown:
+                continue
+            if present:
+                _check(
+                    key in survivors,
+                    spec.seed,
+                    f"{spec.crash_mode}: acked key {key} (session "
+                    f"{worker.worker_id}) missing after failover",
+                )
+            else:
+                _check(
+                    key not in survivors,
+                    spec.seed,
+                    f"{spec.crash_mode}: deleted/never-committed key {key} "
+                    f"(session {worker.worker_id}) survived failover",
+                )
+    known = set().union(*(set(w.state) | w.unknown for w in workers))
+    ghosts = survivors - known
+    _check(
+        not ghosts, spec.seed, f"{spec.crash_mode}: ghost keys {sorted(ghosts)}"
+    )
+
+    if not sync:
+        # The drained standby saw the primary's whole durable prefix, so
+        # promotion must land on exactly the state restarting the old
+        # primary would have produced.
+        db.restart()
+        txn = db.begin()
+        primary_survivors = {row["id"] for _, row in db.scan(txn, "t", "by_id")}
+        db.commit(txn)
+        _check(
+            primary_survivors == survivors,
+            spec.seed,
+            f"{spec.crash_mode}: promoted state diverged from the old "
+            f"primary's recovery "
+            f"(only-primary={sorted(primary_survivors - survivors)}, "
+            f"only-promoted={sorted(survivors - primary_survivors)})",
+        )
+        report.primary_agreement_checked = True
+
+    # The promoted database is a read-write primary.
+    sentinel = spec.key_space + 1 + spec.seed
+    txn = promoted.begin()
+    promoted.insert(txn, "t", {"id": sentinel, "val": "post-failover"})
+    promoted.commit(txn)
+    txn = promoted.begin()
+    row = promoted.fetch(txn, "t", "by_id", sentinel)
+    promoted.commit(txn)
+    _check(
+        row is not None,
+        spec.seed,
+        f"{spec.crash_mode}: promoted database refused writes",
+    )
+
+    promoted.close()
+    db.close()
+    return report
+
+
+def run_failover(
+    seeds: range, base: FailoverSpec | None = None
+) -> list[FailoverReport]:
+    """One failover round per seed, cycling crash modes so a sweep
+    covers the flush window, racing crashes, and the sync-commit gate."""
+    base = base or FailoverSpec()
+    modes = ("held_flush", "racing", "sync")
+    return [
+        run_failover_round(
+            replace(base, seed=seed, crash_mode=modes[seed % len(modes)])
+        )
+        for seed in seeds
+    ]

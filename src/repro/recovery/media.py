@@ -23,10 +23,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class ImageCopy:
-    """A fuzzy dump: page images plus the redo horizon."""
+    """A fuzzy dump: page images plus the redo horizon.
+
+    ``end_lsn`` records the log end at dump time — a point-in-time
+    restore cannot target an LSN before it (the fuzzy images may
+    already contain effects up to there).
+    """
 
     pages: dict[int, bytes] = field(default_factory=dict)
     start_lsn: int = NULL_LSN
+    end_lsn: int = NULL_LSN
 
 
 def take_image_copy(ctx: "Database") -> ImageCopy:
@@ -38,7 +44,11 @@ def take_image_copy(ctx: "Database") -> ImageCopy:
     """
     dirty = ctx.buffer.dirty_page_table()
     horizon = min(dirty.values()) if dirty else ctx.log.end_lsn
-    copy = ImageCopy(pages=ctx.disk.image_copy(), start_lsn=horizon)
+    copy = ImageCopy(
+        pages=ctx.disk.image_copy(),
+        start_lsn=horizon,
+        end_lsn=ctx.log.end_lsn,
+    )
     ctx.stats.incr("recovery.image_copies")
     return copy
 
@@ -60,7 +70,7 @@ def recover_page(ctx: "Database", page_id: int, dump: ImageCopy) -> int:
         page = None
     applied = 0
     try:
-        for record in ctx.log.records(dump.start_lsn):
+        for record in ctx.history_records(dump.start_lsn):
             if not record.is_redoable or record.page_id != page_id:
                 continue
             if page is None:
@@ -93,10 +103,11 @@ def rebuild_page_from_log(ctx: "Database", page_id: int) -> int:
     A page whose on-disk image failed its integrity check (torn write,
     media damage) is treated like a page that never reached disk: its
     image is discarded and its entire history — page-format record
-    onward — is replayed in one page-filtered pass from the log's
-    truncation point.  Requires that the log has not been trimmed past
-    the page's birth; otherwise only dump-based :func:`recover_page`
-    can help and a :class:`RecoveryError` is raised.
+    onward — is replayed in one page-filtered pass over the full record
+    history (archived WAL segments, when an archive is attached, then
+    the live log).  Requires that history back to the page's birth
+    still exists; otherwise only dump-based :func:`recover_page` can
+    help and a :class:`RecoveryError` is raised.
 
     Returns the number of log records applied.  The rebuilt page is
     left dirty in the buffer pool so it eventually reaches disk.
@@ -106,7 +117,7 @@ def rebuild_page_from_log(ctx: "Database", page_id: int) -> int:
     page = None
     applied = 0
     try:
-        for record in ctx.log.records(ctx.log.truncation_point):
+        for record in ctx.history_records(1):
             if not record.is_redoable or record.page_id != page_id:
                 continue
             if page is None:

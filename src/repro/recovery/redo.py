@@ -32,6 +32,50 @@ class RedoResult:
     pages_touched: int = 0
 
 
+def apply_record(
+    ctx: "Database", record, rec_lsn: int | None = None
+) -> bool:
+    """Apply one redoable record to its page, page-oriented.
+
+    The single redo primitive shared by restart redo, the hot standby's
+    continuous-redo loop, and point-in-time restore: fix the page
+    (materialising a shell or rebuilding from history if it is missing
+    or damaged), run the ARIES page-LSN test, and reapply iff the page
+    predates the record.  ``rec_lsn`` is the dirty-page-table recLSN to
+    pin (restart redo knows it); without one the page is marked dirty
+    at the record's own LSN (first-dirtier wins).  Returns whether the
+    page actually changed.
+    """
+    page_id = record.page_id
+    rm = ctx.rm_registry.get(record.rm)
+    try:
+        page = ctx.buffer.fix(page_id)
+    except PageNotFoundError:
+        page = ctx.buffer.fix_new(rm.make_shell(record))
+    except CorruptPageError:
+        # A torn/damaged data page is treated like a missing one:
+        # rebuild it from its full log history (the scrub pass does
+        # this for every on-disk page; this guards pages damaged
+        # between scrub and redo, e.g. by a media-recovery test).
+        from repro.recovery.media import rebuild_page_from_log
+
+        rebuild_page_from_log(ctx, page_id)
+        page = ctx.buffer.fix(page_id)
+    try:
+        if page.page_lsn < record.lsn:
+            rm.apply_redo(ctx, page, record)
+            page.page_lsn = record.lsn
+            if rec_lsn is not None:
+                ctx.buffer.set_rec_lsn(page_id, rec_lsn)
+            else:
+                ctx.buffer.mark_dirty(page_id, record.lsn)
+            ctx.stats.incr("recovery.records_redone")
+            return True
+        return False
+    finally:
+        ctx.buffer.unfix(page_id)
+
+
 def run_redo(ctx: "Database", analysis: AnalysisResult) -> RedoResult:
     result = RedoResult()
     if analysis.redo_lsn == NULL_LSN:
@@ -48,30 +92,9 @@ def run_redo(ctx: "Database", analysis: AnalysisResult) -> RedoResult:
         rec_lsn = dirty_pages.get(page_id)
         if rec_lsn is None or record.lsn < rec_lsn:
             continue  # the page's disk version is known to be current
-        rm = ctx.rm_registry.get(record.rm)
-        try:
-            page = ctx.buffer.fix(page_id)
-        except PageNotFoundError:
-            page = ctx.buffer.fix_new(rm.make_shell(record))
-        except CorruptPageError:
-            # A torn/damaged data page is treated like a missing one:
-            # rebuild it from its full log history (the scrub pass does
-            # this for every on-disk page; this guards pages damaged
-            # between scrub and redo, e.g. by a media-recovery test).
-            from repro.recovery.media import rebuild_page_from_log
-
-            rebuild_page_from_log(ctx, page_id)
-            page = ctx.buffer.fix(page_id)
-        try:
-            if page.page_lsn < record.lsn:
-                rm.apply_redo(ctx, page, record)
-                page.page_lsn = record.lsn
-                ctx.buffer.set_rec_lsn(page_id, rec_lsn)
-                result.records_redone += 1
-                ctx.stats.incr("recovery.records_redone")
-            touched.add(page_id)
-        finally:
-            ctx.buffer.unfix(page_id)
+        if apply_record(ctx, record, rec_lsn=rec_lsn):
+            result.records_redone += 1
+        touched.add(page_id)
 
     result.pages_touched = len(touched)
     ctx.stats.incr("recovery.redo_passes")

@@ -1,0 +1,86 @@
+"""Catalog shipping: table/index definitions for a seeded standby.
+
+The engine keeps its catalog (table and index names, ids, root page
+ids) in memory by design — the paper is about index management, not
+catalog management — so a standby or a point-in-time restore cannot
+recover it from pages.  The primary therefore ships a JSON-serialisable
+catalog snapshot with the image copy, and the receiver installs it by
+constructing :class:`Table`/:class:`BTree` objects *directly*, without
+logging anything: the pages those objects describe arrive via the image
+copy and the shipped log, and appending catalog-creation records on the
+standby would corrupt its LSN alignment with the primary.
+
+Schema changes made on the primary after a standby seeded are not
+shipped (re-seed to pick them up) — the same restriction a real
+system's "catalog changes require re-snapshot" path has in miniature.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.btree.protocol import make_protocol
+from repro.btree.tree import BTree
+from repro.data.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+def catalog_snapshot(db: "Database") -> dict:
+    """A JSON-serialisable snapshot of every table and index."""
+    tables = []
+    for table in db.tables.values():
+        tables.append(
+            {
+                "table_id": table.table_id,
+                "name": table.name,
+                "heap_page_ids": list(table.heap.page_ids),
+                "indexes": [
+                    {
+                        "index_id": tree.index_id,
+                        "name": tree.name,
+                        "column": tree.column,
+                        "root_page_id": tree.root_page_id,
+                        "unique": tree.unique,
+                        "protocol": tree.protocol.name,
+                    }
+                    for tree in table.indexes.values()
+                ],
+            }
+        )
+    return {"tables": tables}
+
+
+def install_catalog(db: "Database", snapshot: dict) -> None:
+    """Install a shipped catalog into a fresh database, logging nothing.
+
+    Id counters are bumped past every shipped id so post-promotion DDL
+    never collides with replicated objects.  (Root page ids are stable
+    on the primary — ARIES/IM root growth happens in place — so the
+    shipped root ids stay correct for the standby's whole life.)
+    """
+    max_table_id = 0
+    max_index_id = 0
+    for spec in snapshot["tables"]:
+        table = Table(db, spec["table_id"], spec["name"])
+        table.heap.page_ids = list(spec.get("heap_page_ids", []))
+        db.tables[spec["name"]] = table
+        max_table_id = max(max_table_id, spec["table_id"])
+        for index_spec in spec["indexes"]:
+            tree = BTree(
+                ctx=db,
+                index_id=index_spec["index_id"],
+                name=index_spec["name"],
+                table_id=spec["table_id"],
+                column=index_spec["column"],
+                root_page_id=index_spec["root_page_id"],
+                unique=index_spec["unique"],
+                protocol=make_protocol(index_spec["protocol"]),
+            )
+            table.indexes[index_spec["name"]] = tree
+            db._indexes_by_id[index_spec["index_id"]] = tree
+            max_index_id = max(max_index_id, index_spec["index_id"])
+    db._table_ids = itertools.count(max_table_id + 1)
+    db._index_ids = itertools.count(max_index_id + 1)

@@ -78,6 +78,16 @@ class Session:
             "stats": self._op_stats,
             "close": self._op_close,
         }
+        #: Replication ops run directly on the connection thread instead
+        #: of the bounded worker pool: a long-poll parked for the next
+        #: flush must not occupy (or be starved by) a worker slot.
+        self._direct_ops: dict[str, Callable[[dict], object]] = {
+            "repl_handshake": self._op_repl_handshake,
+            "repl_snapshot": self._op_repl_snapshot,
+            "repl_poll": self._op_repl_poll,
+            "repl_ack": self._op_repl_ack,
+            "repl_status": self._op_repl_status,
+        }
 
     # -- connection thread -------------------------------------------------
 
@@ -97,6 +107,13 @@ class Session:
                     break
                 if request is None:  # client went away
                     break
+                if request.get("op") in self._direct_ops:
+                    response = self._execute_direct(request)
+                    try:
+                        self.conn.write_message(response)
+                    except OSError:
+                        break
+                    continue
                 response = self.server.submit(self, request)
                 if response is None:
                     # Request timed out; the worker still owns the op and
@@ -146,6 +163,14 @@ class Session:
             response = error_response(exc)
             response["txn_aborted"] = True
             return response
+        except Exception as exc:  # noqa: BLE001 - the wire needs *a* reply
+            return error_response(exc)
+
+    def _execute_direct(self, request: dict) -> dict:
+        """Run a replication op inline (connection thread)."""
+        handler = self._direct_ops[request["op"]]
+        try:
+            return {"ok": True, "result": handler(request)}
         except Exception as exc:  # noqa: BLE001 - the wire needs *a* reply
             return error_response(exc)
 
@@ -288,3 +313,37 @@ class Session:
     def _op_close(self, request: dict) -> str:
         self.closing = True
         return "bye"
+
+    # -- replication (WAL shipping) ----------------------------------------
+
+    def _replication(self):
+        replication = self.server.db.replication
+        if replication is None:
+            raise SessionStateError(
+                "replication is not enabled on this server "
+                "(call db.enable_replication() first)"
+            )
+        return replication
+
+    def _op_repl_handshake(self, request: dict) -> dict:
+        return self._replication().handshake(str(request["name"]))
+
+    def _op_repl_snapshot(self, request: dict) -> dict:
+        return self._replication().snapshot()
+
+    def _op_repl_poll(self, request: dict) -> dict:
+        replication = self._replication()
+        return replication.poll(
+            str(request["name"]),
+            int(request["from_lsn"]),
+            max_bytes=int(request.get("max_bytes", 256 * 1024)),
+            wait_seconds=min(float(request.get("wait_seconds", 0.0)), 30.0),
+        )
+
+    def _op_repl_ack(self, request: dict) -> dict:
+        return self._replication().ack(
+            str(request["name"]), int(request["lsn"])
+        )
+
+    def _op_repl_status(self, request: dict) -> dict:
+        return self._replication().status()

@@ -1,6 +1,7 @@
 """Maintainer tooling: structural and log dumps, stats summaries."""
 
 from repro.tools.inspect import (
+    dump_archive,
     dump_log,
     dump_transaction,
     dump_tree,
@@ -9,6 +10,7 @@ from repro.tools.inspect import (
 )
 
 __all__ = [
+    "dump_archive",
     "dump_log",
     "dump_transaction",
     "dump_tree",

@@ -9,6 +9,7 @@ reproduction or a test failure:
   by transaction or page;
 - :func:`dump_transaction` — one transaction's records with its
   PrevLSN/UndoNxtLSN chain annotated;
+- :func:`dump_archive` — the WAL archive, segment by segment;
 - :func:`summarize_stats` — the counter groups the paper's measures
   map onto (locks, latches, I/O, recovery work).
 
@@ -133,6 +134,45 @@ def dump_transaction(db: "Database", txn_id: int) -> str:
         elif record.kind is RecordKind.CLR:
             marker = "↩ "
         lines.append(marker + format_record(record))
+    return "\n".join(lines)
+
+
+def dump_archive(
+    db: "Database",
+    from_lsn: int | None = None,
+    limit: int | None = None,
+) -> str:
+    """The WAL archive, segment by segment, one record per line.
+
+    The archive holds the truncated log prefix — together with
+    ``dump_log(db, from_lsn=db.log.truncation_point)`` this is the full
+    history PITR replays.
+    """
+    archive = db.archive
+    if archive is None:
+        return "(no archive attached)"
+    segments = archive.segments()
+    if not segments:
+        return "(archive is empty)"
+    lines = [
+        f"archive [{archive.base_lsn}, {archive.end_lsn}): "
+        f"{len(segments)} segments, "
+        f"{sum(len(s.data) for s in segments)} bytes"
+    ]
+    shown = 0
+    for index, seg in enumerate(segments):
+        if from_lsn is not None and seg.end_lsn <= from_lsn:
+            continue
+        lines.append(
+            f"-- segment {index} [{seg.first_lsn}, {seg.end_lsn}) "
+            f"{len(seg.data)} bytes, {seg.record_count} records"
+        )
+        for record in archive.records(max(seg.first_lsn, from_lsn or 0), seg.end_lsn):
+            lines.append("  " + format_record(record))
+            shown += 1
+            if limit is not None and shown >= limit:
+                lines.append("... (truncated)")
+                return "\n".join(lines)
     return "\n".join(lines)
 
 

@@ -48,6 +48,12 @@ class TransactionManager:
         self._mutex = threading.Lock()
         self._next_txn_id = 1
         self._table: dict[int, Transaction] = {}
+        #: Optional synchronous-replication gate, called with the commit
+        #: record's LSN after the transaction is locally durable and
+        #: fully ended.  Raising withholds the *acknowledgement* only —
+        #: the transaction is committed either way (in-doubt surfaced
+        #: to the caller, never silent).
+        self.commit_gate = None
 
     # -- transaction table ---------------------------------------------------
 
@@ -104,8 +110,9 @@ class TransactionManager:
     def commit(self, txn: Transaction) -> None:
         if not txn.is_active:
             raise TransactionNotActiveError(f"cannot commit {txn!r}")
+        wrote_data = txn.first_lsn != NULL_LSN
         commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id)
-        self.log_for(txn, commit)
+        commit_lsn = self.log_for(txn, commit)
         # The one synchronous log I/O of the normal path.  Under group
         # commit this parks until a batched flush covers the commit
         # record and may raise CommitNotDurableError if a crash wins the
@@ -127,6 +134,13 @@ class TransactionManager:
         txn.status = TxnStatus.ENDED
         self.forget(txn.txn_id)
         self._stats.incr("txn.committed")
+        # Synchronous replication holds the *acknowledgement* (not the
+        # commit — that is already durable and irreversible) until a
+        # standby confirms durable receipt.  Read-only transactions
+        # changed nothing a failover could lose, so they skip the gate.
+        gate = self.commit_gate
+        if gate is not None and wrote_data:
+            gate(commit_lsn)
 
     # -- rollback --------------------------------------------------------------------
 

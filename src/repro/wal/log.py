@@ -25,13 +25,14 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.common.errors import (
     CommitNotDurableError,
     CorruptLogError,
     LogHaltedError,
     LSNOutOfRangeError,
+    WALError,
 )
 from repro.common.stats import StatsRegistry
 from repro.wal.records import NULL_LSN, LogRecord
@@ -78,6 +79,16 @@ class LogManager:
         self._gc_inflight: list[_CommitWaiter] = []
         self._gc_hold = False
         self._gc_thread: threading.Thread | None = None
+        # Flush notification: waited on by follow-mode iterators (WAL
+        # shippers), notified whenever the durable prefix advances and
+        # on halt/crash so followers wake promptly.  Own lock; never
+        # acquired while holding _mutex (the reverse nesting is fine).
+        self._flush_cond = threading.Condition()
+        #: Optional callable ``archiver(first_lsn, data)`` invoked with
+        #: the exact byte range about to be discarded by
+        #: :meth:`truncate_prefix`, *before* the discard; raising vetoes
+        #: the truncation (nothing is lost).
+        self._archiver = None
 
     # -- append / force ----------------------------------------------------
 
@@ -98,6 +109,89 @@ class LogManager:
         self._stats.incr("log.records_written")
         self._stats.incr(f"log.records.{record.kind.value}")
         return lsn
+
+    def append_raw(self, base_lsn: int, data: bytes) -> list[LogRecord]:
+        """Extend the stream with already-framed records shipped from a
+        primary (log-shipping replication).
+
+        ``base_lsn`` must equal :attr:`end_lsn` — shipped chunks are
+        byte-exact continuations of the stream, which is what keeps the
+        standby's LSNs identical to the primary's.  Every frame in
+        ``data`` is validated (CRC) before any byte is adopted; a
+        corrupt or partial chunk is rejected whole.  Returns the parsed
+        records in LSN order.
+        """
+        records: list[LogRecord] = []
+        offset = 0
+        while offset < len(data):
+            start = offset
+            try:
+                record, offset = LogRecord.from_bytes(data, offset)
+            except CorruptLogError as exc:
+                raise WALError(
+                    f"shipped chunk corrupt at relative offset {start}: {exc}"
+                ) from exc
+            record.lsn = base_lsn + start
+            records.append(record)
+        with self._mutex:
+            if self._halted:
+                raise LogHaltedError("log halted by crash; restart first")
+            expected = self._truncated + len(self._buffer) + 1
+            if base_lsn != expected:
+                raise WALError(
+                    f"shipped chunk starts at LSN {base_lsn}; log ends at {expected}"
+                )
+            self._buffer += data
+            for record in records:
+                self._records[record.lsn] = record
+            self._append_count += len(records)
+        self._stats.incr("log.records_shipped_in", len(records))
+        return records
+
+    def rebase(self, base_lsn: int) -> None:
+        """Make the *empty* log continue a stream at ``base_lsn``.
+
+        A standby seeded from a primary's image copy adopts the
+        primary's LSN space: its first shipped record must receive the
+        same LSN it has on the primary.  LSNs are byte offsets, so this
+        just pretends the first ``base_lsn - 1`` bytes were truncated.
+        """
+        with self._mutex:
+            if self._buffer or self._truncated:
+                raise WALError("rebase requires a pristine (empty) log")
+            self._truncated = base_lsn - 1
+            self._flushed_len = self._truncated
+
+    def load_stream(self, base_lsn: int, data: bytes) -> None:
+        """Adopt ``data`` as the durable log stream starting at
+        ``base_lsn`` (point-in-time restore assembles this from the
+        archive plus the live log).  The whole stream counts as forced —
+        it came from stable storage."""
+        self.rebase(base_lsn)
+        with self._mutex:
+            self._buffer += data
+            self._flushed_len = self._truncated + len(data)
+
+    def raw_slice(self, from_lsn: int, upto: int | None = None) -> bytes:
+        """The raw stream bytes for LSNs in ``[from_lsn, upto)`` (both
+        byte positions; ``upto=None`` means the current end).  Used by
+        the WAL shipper and point-in-time restore; only whole frames
+        should be shipped — callers bound ``upto`` at record/flush
+        boundaries."""
+        with self._mutex:
+            end = self._truncated + len(self._buffer) + 1
+            if upto is None:
+                upto = end
+            upto = min(upto, end)
+            if from_lsn <= self._truncated:
+                raise LSNOutOfRangeError(
+                    f"LSN {from_lsn} was truncated away (archive required)"
+                )
+            if from_lsn >= upto:
+                return b""
+            lo = from_lsn - 1 - self._truncated
+            hi = upto - 1 - self._truncated
+            return bytes(self._buffer[lo:hi])
 
     def force(self, lsn: int | None = None) -> None:
         """Make the log durable up to and including ``lsn`` (or all of it).
@@ -129,6 +223,8 @@ class LogManager:
             else:
                 moved = False
         if moved:
+            with self._flush_cond:
+                self._flush_cond.notify_all()
             self._stats.incr("log.sync_forces")
 
     # -- group commit ------------------------------------------------------
@@ -310,6 +406,9 @@ class LogManager:
         straggler threads cannot write stale records post-crash)."""
         with self._mutex:
             self._halted = True
+        # Followers parked for new records must observe the halt.
+        with self._flush_cond:
+            self._flush_cond.notify_all()
 
     def resume(self) -> None:
         with self._mutex:
@@ -326,6 +425,30 @@ class LogManager:
         the last fully flushed record survive a crash."""
         with self._mutex:
             return self._flushed_len
+
+    def wait_for_flush(self, lsn: int, timeout: float) -> int:
+        """Block until the durable prefix reaches byte position ``lsn``,
+        the log halts, or ``timeout`` elapses.  Returns the durable
+        position at wake-up.  This is the long-poll primitive the WAL
+        shipper parks replication polls on."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._flush_cond:
+                with self._mutex:
+                    if self._flushed_len >= lsn or self._halted:
+                        return self._flushed_len
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    with self._mutex:
+                        return self._flushed_len
+                self._flush_cond.wait(min(remaining, 0.05))
+
+    def force_target(self, lsn: int) -> int:
+        """Byte position a force covering ``lsn`` must reach — also the
+        ack level a standby must report before a synchronous-replication
+        commit at ``lsn`` may be acknowledged."""
+        with self._mutex:
+            return self._force_target_locked(lsn)
 
     @property
     def records_appended(self) -> int:
@@ -387,29 +510,91 @@ class LogManager:
             self._records.setdefault(lsn, record)
         return record
 
-    def records(self, from_lsn: int = 1) -> Iterator[LogRecord]:
+    def records(
+        self,
+        from_lsn: int = 1,
+        follow: bool = False,
+        stop: "Callable[[], bool] | None" = None,
+        poll_interval: float = 0.05,
+    ) -> Iterator[LogRecord]:
         """Iterate records in LSN order starting at ``from_lsn``.
 
-        Iterates a snapshot of the current log contents; records
-        appended concurrently are not included.  Iteration stops cleanly
-        at the first record whose frame is truncated or fails its CRC —
-        a torn log tail ends the usable log rather than raising (the
-        analysis pass depends on this; :meth:`repair_tail` physically
-        discards the damage).
+        Default mode iterates a snapshot of the current log contents;
+        records appended concurrently are not included.  Iteration stops
+        cleanly at the first record whose frame is truncated or fails
+        its CRC — a torn log tail ends the usable log rather than
+        raising (the analysis pass depends on this; :meth:`repair_tail`
+        physically discards the damage).
+
+        ``follow=True`` is the WAL shipper's mode: the iterator yields
+        only records whose frames are entirely inside the *durable*
+        (forced) prefix — never past :attr:`flushed_lsn`, so a standby
+        cannot observe non-durable commits — and, when caught up, parks
+        on the flush-notification condition variable (bounded waits of
+        ``poll_interval`` between re-checks of ``stop``) instead of
+        busy-polling.  The iterator ends when ``stop()`` returns true or
+        the log halts (crash).
         """
-        with self._mutex:
-            buffer = bytes(self._buffer)
-            truncated = self._truncated
-        offset = max(from_lsn - 1 - truncated, 0)
-        while offset < len(buffer):
-            try:
-                record, next_offset = LogRecord.from_bytes(buffer, offset)
-            except CorruptLogError:
-                self._stats.incr("log.tail_frame_errors")
+        if not follow:
+            with self._mutex:
+                buffer = bytes(self._buffer)
+                truncated = self._truncated
+            offset = max(from_lsn - 1 - truncated, 0)
+            while offset < len(buffer):
+                try:
+                    record, next_offset = LogRecord.from_bytes(buffer, offset)
+                except CorruptLogError:
+                    self._stats.incr("log.tail_frame_errors")
+                    return
+                record.lsn = truncated + offset + 1
+                yield record
+                offset = next_offset
+            return
+        yield from self._follow_records(from_lsn, stop, poll_interval)
+
+    def _follow_records(
+        self,
+        from_lsn: int,
+        stop: "Callable[[], bool] | None",
+        poll_interval: float,
+    ) -> Iterator[LogRecord]:
+        next_lsn = max(from_lsn, 1)
+        while True:
+            if stop is not None and stop():
                 return
-            record.lsn = truncated + offset + 1
-            yield record
-            offset = next_offset
+            with self._mutex:
+                truncated = self._truncated
+                halted = self._halted
+                if next_lsn <= truncated:
+                    raise LSNOutOfRangeError(
+                        f"LSN {next_lsn} was truncated away (archive required)"
+                    )
+                lo = next_lsn - 1 - truncated
+                hi = self._flushed_len - truncated
+                chunk = bytes(self._buffer[lo:hi]) if hi > lo else b""
+            offset = 0
+            while offset < len(chunk):
+                try:
+                    record, next_offset = LogRecord.from_bytes(chunk, offset)
+                except CorruptLogError:
+                    # The durable prefix ends mid-frame (a torn tail a
+                    # crash left behind): nothing more to ship until
+                    # repair or until the flush boundary moves past it.
+                    break
+                record.lsn = next_lsn + offset
+                yield record
+                offset = next_offset
+            next_lsn += offset
+            if halted:
+                return
+            # Caught up: park until the durable prefix advances.  The
+            # re-check under the condition avoids a missed wakeup (the
+            # notifier bumps _flushed_len before taking _flush_cond).
+            with self._flush_cond:
+                with self._mutex:
+                    ready = self._flushed_len >= next_lsn or self._halted
+                if not ready:
+                    self._flush_cond.wait(poll_interval)
 
     def tail(self, count: int) -> list[LogRecord]:
         """The last ``count`` records (for log-sequence assertions)."""
@@ -417,6 +602,18 @@ class LogManager:
         return everything[-count:]
 
     # -- truncation ---------------------------------------------------------
+
+    def set_archiver(
+        self, archiver: Callable[[int, bytes], None] | None
+    ) -> None:
+        """Install ``archiver(first_lsn, data)``, called by
+        :meth:`truncate_prefix` with the exact byte range about to be
+        discarded, *before* anything is dropped.  If it raises, the
+        truncation is vetoed — no log space is lost.  This is how the
+        WAL archive guarantees the full record history survives
+        truncation (point-in-time recovery depends on it)."""
+        with self._mutex:
+            self._archiver = archiver
 
     def truncate_prefix(self, lsn: int) -> int:
         """Discard log space before ``lsn`` (exclusive).
@@ -426,9 +623,28 @@ class LogManager:
         below the master checkpoint, every dirty page's recLSN, and
         every active transaction's first record.  Returns the number of
         bytes reclaimed.  Only durable (forced) space is reclaimable.
+
+        When an archiver is installed (:meth:`set_archiver`) the doomed
+        bytes are handed to it first; an archiver failure vetoes the
+        truncation.
         """
         with self._mutex:
             target = min(lsn - 1, self._flushed_len)
+            drop = target - self._truncated
+            if drop <= 0:
+                return 0
+            archiver = self._archiver
+            chunk = bytes(self._buffer[:drop]) if archiver is not None else b""
+            first_lsn = self._truncated + 1
+        if archiver is not None:
+            # Outside the mutex: archivers may do real I/O.  Raising
+            # here aborts the truncation with nothing discarded.
+            archiver(first_lsn, chunk)
+        with self._mutex:
+            # Recompute against the same target: a concurrent append
+            # can't move _truncated (truncation is single-threaded via
+            # Database.trim_log), so the archived range still exactly
+            # covers what we drop.
             drop = target - self._truncated
             if drop <= 0:
                 return 0
@@ -499,4 +715,7 @@ class LogManager:
         # durable if their record made the forced prefix, lost if the
         # crash beat the batched flush.
         self._resolve_waiters_after_crash()
+        # Wake follow-mode iterators so they notice the halt promptly.
+        with self._flush_cond:
+            self._flush_cond.notify_all()
         self._stats.incr("log.crashes")

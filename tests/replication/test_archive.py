@@ -1,0 +1,179 @@
+"""WAL archive: the truncation hook, contiguity, history continuity.
+
+The satellite fix under test: ``truncate_prefix`` used to discard
+records irrecoverably; with an archive attached the doomed bytes are
+archived first (a failing archiver *vetoes* the truncation), and both
+``rebuild_page_from_log`` and point-in-time restore keep working across
+a truncation boundary.
+"""
+
+import pytest
+
+from repro.common.config import DatabaseConfig
+from repro.common.errors import ArchiveGapError, LSNOutOfRangeError
+from repro.db import Database
+from repro.recovery.media import rebuild_page_from_log, take_image_copy
+from repro.replication import WalArchive, restore_to_lsn
+from repro.wal.log import LogManager
+from repro.wal.records import update_record
+
+
+def rec(txn_id=1, op="op", page=1):
+    return update_record(txn_id, "heap", op, page, {"n": 1})
+
+
+def make_loaded_db():
+    """A database with an archive, 30 committed rows, and a trim that
+    genuinely moved the truncation point."""
+    db = Database(DatabaseConfig())
+    db.attach_archive()
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    copy = take_image_copy(db)
+    targets = {}
+    trimmed = 0
+    for i in range(30):
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": i, "v": f"r{i}"})
+        targets[i] = db.log.flushed_lsn
+        if i == 14:
+            db.flush_all_pages()
+            db.checkpoint()
+            trimmed = db.trim_log()
+    assert trimmed > 0, "setup must exercise a real truncation"
+    return db, copy, targets
+
+
+class TestArchiveUnit:
+    def test_chunks_join_contiguously(self):
+        log = LogManager()
+        archive = WalArchive(segment_bytes=128)
+        for _ in range(10):
+            log.append(rec())
+        log.force()
+        mid = log.end_lsn
+        archive.append_chunk(1, log.raw_slice(1, mid))
+        for _ in range(5):
+            log.append(rec())
+        log.force()
+        archive.append_chunk(mid, log.raw_slice(mid))
+        assert archive.base_lsn == 1
+        assert archive.end_lsn == log.end_lsn
+        lsns = [r.lsn for r in archive.records()]
+        assert lsns == sorted(lsns) and len(lsns) == 15
+        assert archive.segment_count > 1  # splitting actually happened
+
+    def test_gap_rejected(self):
+        log = LogManager()
+        archive = WalArchive()
+        for _ in range(4):
+            log.append(rec())
+        log.force()
+        archive.append_chunk(1, log.raw_slice(1))
+        mid = log.end_lsn
+        log.append(rec())
+        log.force()
+        skipped = log.append(rec())
+        log.force()
+        with pytest.raises(ArchiveGapError):
+            # a valid chunk, but it starts past the archive's end
+            archive.append_chunk(skipped, log.raw_slice(skipped))
+        # the contiguous continuation is still accepted afterwards
+        archive.append_chunk(mid, log.raw_slice(mid))
+        assert archive.end_lsn == log.end_lsn
+
+    def test_corrupt_chunk_rejected(self):
+        archive = WalArchive()
+        with pytest.raises(ArchiveGapError):
+            archive.append_chunk(1, b"\xff" * 32)
+
+    def test_raw_slice_bounds(self):
+        log = LogManager()
+        archive = WalArchive()
+        log.append(rec())
+        log.force()
+        end = log.end_lsn
+        archive.append_chunk(1, log.raw_slice(1))
+        assert archive.raw_slice(1, end) == log.raw_slice(1, end)
+        with pytest.raises(LSNOutOfRangeError):
+            archive.raw_slice(1, end + 50)
+
+
+class TestTruncationHook:
+    def test_trim_routes_bytes_through_archive(self):
+        db, _, _ = make_loaded_db()
+        trunc = db.log.truncation_point
+        assert db.archive.base_lsn == 1
+        assert db.archive.end_lsn == trunc  # byte-exact handoff
+
+    def test_failing_archiver_vetoes_truncation(self):
+        db = Database(DatabaseConfig())
+        db.create_table("t")
+
+        def refusing_archiver(first_lsn, data):
+            raise ArchiveGapError("archive device full")
+
+        db.log.set_archiver(refusing_archiver)
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 1})
+        db.flush_all_pages()
+        db.checkpoint()
+        before = db.log.truncation_point
+        with pytest.raises(ArchiveGapError):
+            db.trim_log()
+        # nothing was lost: the log still starts where it did
+        assert db.log.truncation_point == before
+        assert list(db.log.records(before))  # prefix still readable
+
+    def test_history_records_spans_the_boundary(self):
+        db, _, _ = make_loaded_db()
+        trunc = db.log.truncation_point
+        lsns = [r.lsn for r in db.history_records(1)]
+        assert lsns[0] < trunc  # archived part present
+        assert lsns[-1] >= trunc  # live part present
+        assert lsns == sorted(lsns)
+        # the seam is gapless: consecutive frames
+        live_lsns = [r.lsn for r in db.log.records(trunc)]
+        assert set(live_lsns) <= set(lsns)
+
+
+class TestRecoveryAcrossTruncation:
+    def test_rebuild_page_from_log_uses_archive(self):
+        db, _, _ = make_loaded_db()
+        root = db.tables["t"].indexes["by_id"].root_page_id
+        db.flush_all_pages()
+        db.disk.corrupt(root)
+        db.buffer.discard(root)
+        applied = rebuild_page_from_log(db, root)
+        assert applied > 0
+        with db.transaction() as txn:
+            assert db.fetch(txn, "t", "by_id", 7)["v"] == "r7"
+        assert db.verify_indexes() == {}
+
+    def test_pitr_across_truncation_boundary(self):
+        db, copy, targets = make_loaded_db()
+        # target 4 committed before the truncation point: only the
+        # archive holds its history
+        for pick in (4, 20):
+            restored = restore_to_lsn(db, copy, targets[pick])
+            with restored.transaction() as txn:
+                for i in range(30):
+                    row = restored.fetch(txn, "t", "by_id", i)
+                    assert (row is not None) == (i <= pick), (pick, i)
+            assert restored.verify_indexes() == {}
+
+    def test_pitr_without_archive_raises_after_trim(self):
+        from repro.common.errors import RecoveryError
+
+        db = Database(DatabaseConfig())
+        db.create_table("t")
+        db.create_index("t", "by_id", column="id", unique=True)
+        copy = take_image_copy(db)
+        for i in range(10):
+            with db.transaction() as txn:
+                db.insert(txn, "t", {"id": i})
+        db.flush_all_pages()
+        db.checkpoint()
+        assert db.trim_log() > 0
+        with pytest.raises(RecoveryError):
+            restore_to_lsn(db, copy, db.log.flushed_lsn)

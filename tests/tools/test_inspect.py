@@ -1,6 +1,7 @@
 """Inspection tooling: tree/log/transaction dumps, stats summary."""
 
 from repro.tools import (
+    dump_archive,
     dump_log,
     dump_transaction,
     dump_tree,
@@ -113,6 +114,39 @@ class TestDumpTransaction:
     def test_unknown_txn(self):
         db = make_db()
         assert "no records" in dump_transaction(db, 10**6)
+
+
+class TestDumpArchive:
+    def make_archived_db(self):
+        db = make_db()
+        db.attach_archive()
+        populate(db, range(1000, 1030))
+        db.flush_all_pages()
+        db.checkpoint()
+        assert db.trim_log() > 0
+        return db
+
+    def test_segments_and_records_shown(self):
+        db = self.make_archived_db()
+        text = dump_archive(db)
+        assert "-- segment 0" in text
+        assert "lsn=" in text
+        # the archive's last record abuts the live log's first
+        assert f"{db.archive.end_lsn})" in text.splitlines()[0]
+
+    def test_limit(self):
+        db = self.make_archived_db()
+        text = dump_archive(db, limit=3)
+        assert "truncated" in text
+        assert text.count("lsn=") == 3
+
+    def test_no_archive(self):
+        assert "no archive" in dump_archive(make_db())
+
+    def test_empty_archive(self):
+        db = make_db()
+        db.attach_archive()
+        assert "empty" in dump_archive(db)
 
 
 class TestSummarizeStats:
