@@ -65,6 +65,11 @@ class DatabaseConfig:
     """Flush no later than this after the first commit of a batch parks
     (bounds added commit latency)."""
 
+    ondemand_recovery_timeout_seconds: float = 30.0
+    """Instant restart: how long a page fix waits for another thread's
+    in-flight on-demand recovery of the same page before giving up with
+    :class:`~repro.common.errors.RecoveryTimeoutError`."""
+
     io_retry_limit: int = 4
     """Attempts the buffer pool makes per disk I/O before a transient
     fault is promoted to a permanent one (and escalated to a crash)."""
@@ -87,6 +92,8 @@ class DatabaseConfig:
             raise ConfigError("checkpoint_interval_records must be >= 0")
         if self.io_retry_limit < 1:
             raise ConfigError("io_retry_limit must be at least 1")
+        if self.ondemand_recovery_timeout_seconds <= 0:
+            raise ConfigError("ondemand_recovery_timeout_seconds must be positive")
         if self.group_commit_max_batch < 1:
             raise ConfigError("group_commit_max_batch must be at least 1")
         if self.group_commit_max_wait_seconds < 0:

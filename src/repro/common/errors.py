@@ -186,6 +186,13 @@ class RecoveryError(ReproError):
     """Restart or media recovery failed."""
 
 
+class RecoveryTimeoutError(RecoveryError):
+    """An on-demand page recovery did not finish within the per-request
+    budget (instant restart: the fix that triggered lazy recovery waited
+    ``ondemand_recovery_timeout_seconds`` for another thread recovering
+    the same page)."""
+
+
 class DatabaseClosedError(ReproError):
     """An operation was attempted on a cleanly closed database."""
 

@@ -74,6 +74,14 @@ class StatsRegistry:
         with self._lock:
             self._counters[name] += amount
 
+    def gauge(self, name: str, value: int) -> None:
+        """Set counter ``name`` to an absolute value — progress gauges
+        that move in both directions (pages still awaiting recovery)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = value
+
     def max_gauge(self, name: str, value: int) -> None:
         """Atomically raise counter ``name`` to ``value`` if higher —
         high-water marks (peak queue depth, peak parked committers)."""

@@ -74,6 +74,8 @@ class Database:
         self.stats = StatsRegistry(enabled=config.stats_enabled)
         self.failpoints = FailpointRegistry()
         self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.attach_stats(self.stats)
         self.disk = DiskManager(config.page_size, self.stats, fault_injector)
         self.log = LogManager(self.stats)
         if config.group_commit:
@@ -108,6 +110,9 @@ class Database:
         self.archive = None
         #: Primary-side replication state (enable_replication).
         self.replication = None
+        #: Live RecoveryGovernor while an instant restart is draining
+        #: (stays set, drained, until the next crash).
+        self.recovery = None
         self._crashed = False
         self._closed = False
 
@@ -376,6 +381,11 @@ class Database:
         """
         from repro.wal.records import NULL_LSN
 
+        governor = self.recovery
+        if governor is not None and not governor.drained:
+            # Mid-drain, an unverified torn page may still need its full
+            # log history for a rebuild — refuse to discard anything.
+            return 0
         candidates = [self.log.master_lsn or 1]
         dirty = self.buffer.dirty_page_table()
         if dirty:
@@ -458,6 +468,17 @@ class Database:
         if self._closed:
             return
         if not self._crashed:
+            governor = self.recovery
+            if governor is not None and not governor.drained:
+                # Finish recovery before flushing: an undrained page
+                # must not be skipped by flush_all.  (Even if this
+                # fails, the final checkpoint stays safe — undrained
+                # recLSNs are still pre-seeded in the buffer DPT.)
+                try:
+                    if not governor.drain():
+                        self.stats.incr("db.close_drain_failures")
+                except Exception:
+                    self.stats.incr("db.close_drain_failures")
             for txn in self.txns.active_transactions():
                 try:
                     self.rollback(txn)
@@ -504,6 +525,12 @@ class Database:
         parked for a group-commit flush are woken with
         ``CommitNotDurableError`` (they were never acknowledged)."""
         self.log.halt()
+        governor = self.recovery
+        if governor is not None:
+            # Stop in-flight instant-restart workers before tearing
+            # down the stores they are replaying into.
+            governor.abort()
+            self.recovery = None
         keep_partial = 0
         if self.fault_injector is not None:
             keep_partial = self.fault_injector.tail_loss(self.log.unforced_bytes)
@@ -528,8 +555,9 @@ class Database:
         self.stats.incr("db.crashes")
 
     def restart(self) -> RestartReport:
-        """ARIES restart recovery: analysis, redo, undo."""
+        """ARIES restart recovery: analysis, redo, undo (stop-the-world)."""
         self.log.resume()
+        self._reset_latches_for_restart()
         report = run_restart(self)
         self._rebuild_heap_views()
         self._bump_txn_ids()
@@ -537,6 +565,54 @@ class Database:
             self.replication.primary_restarted()
         self._crashed = False
         return report
+
+    def instant_restart(
+        self, redo_workers: int = 4, background: bool = True
+    ) -> "InstantRestartReport":
+        """Serve-while-recovering restart: analysis and loser undo run
+        up front, then the database opens; redo happens on first touch
+        of each page and (with ``background=True``) in a bounded worker
+        pool behind the foreground.  ``self.recovery`` exposes the
+        governor until the next crash; ``recovery_state`` flips from
+        ``"recovering"`` to ``"steady"`` when the drain finishes."""
+        from repro.recovery.instant import run_instant_restart
+
+        self.log.resume()
+        self._reset_latches_for_restart()
+        report = run_instant_restart(
+            self, redo_workers=redo_workers, background=background
+        )
+        if self.replication is not None:
+            self.replication.primary_restarted()
+        self._crashed = False
+        return report
+
+    def _reset_latches_for_restart(self) -> None:
+        """Fresh latch and lock tables at restart entry.
+
+        ``crash()`` already swaps both managers, but a request thread
+        still unwinding at that instant can re-acquire in the *fresh*
+        ones before it dies (its exception path cannot release: a
+        rollback against the halted log fails mid-way).  Restart runs
+        quiesced — the server is aborted, no application thread is
+        live — so empty tables are always the correct state here."""
+        self.latches = self._make_latches()
+        self.locks = LockManager(
+            self.stats,
+            timeout=self.config.lock_timeout_seconds,
+            deadlock_detection=self.config.deadlock_detection,
+        )
+        self.txns._locks = self.locks
+
+    @property
+    def recovery_state(self) -> str:
+        """``"recovering"`` while an instant restart is draining,
+        ``"steady"`` otherwise (also reported over the wire by the
+        server's ``status`` op)."""
+        governor = self.recovery
+        if governor is not None and not governor.drained:
+            return "recovering"
+        return "steady"
 
     # -- post-restart reconciliation -------------------------------------------------------
 
@@ -558,6 +634,16 @@ class Database:
                 self.buffer.unfix(page_id)
         for table in self.tables.values():
             table.heap.page_ids = by_table.get(table.table_id, [])
+
+    def note_heap_page(self, table_id: int, page_id: int) -> None:
+        """Register a heap page with its table's in-memory page view
+        (the standby's replay loop maintains views live so an instant
+        promotion need not rediscover them)."""
+        for table in self.tables.values():
+            if table.table_id == table_id:
+                if page_id not in table.heap.page_ids:
+                    table.heap.page_ids.append(page_id)
+                return
 
     def _bump_txn_ids(self) -> None:
         """Never reuse a transaction id that appears in the log."""

@@ -809,3 +809,288 @@ def run_failover(
         )
         for seed in seeds
     ]
+
+
+# -- serve-while-recovering torture mode -------------------------------------
+#
+# The modes above all recover stop-the-world before verifying.  This
+# mode verifies *instant restart*: the primary crashes mid-load (with
+# torn page writes and WAL-tail loss armed), recovery opens the
+# database after analysis + undo only, and the round then
+#
+#   1. reads every key whose acked state is known THROUGH the
+#      still-recovering server — each read lands on an unrecovered page
+#      and must pay the on-demand recovery cost, never observe stale
+#      (pre-redo or uncommitted) state;
+#   2. starts the background redo workers and fires a second write
+#      burst at the database while the drain runs;
+#   3. waits for the drain, re-verifies the combined acked state,
+#      structure-checks the indexes, and finally crash+restarts
+#      stop-the-world to prove the instant path left exactly the state
+#      classic recovery would reach.
+
+
+@dataclass(frozen=True)
+class ServeWhileRecoveringSpec:
+    """Parameters of one serve-while-recovering torture round."""
+
+    seed: int = 0
+    sessions: int = 4
+    requests_per_session: int = 24
+    key_space: int = 160
+    initial_keys: int = 24
+    page_size: int = 1024
+    buffer_pool_pages: int = 96
+    insert_fraction: float = 0.65
+    crash_after_requests: int = 30
+    flush_probability: float = 0.2
+    """Per-poll chance the round flushes a couple of dirty pages while
+    the phase-1 load runs (gives torn writes something to tear)."""
+    torn_write_probability: float = 0.05
+    wal_tail_loss_probability: float = 0.3
+    redo_workers: int = 2
+    phase2_requests_per_session: int = 12
+    """Write burst fired while the background drain runs."""
+
+
+@dataclass
+class ServeWhileRecoveringReport:
+    """Outcome of one serve-while-recovering round (invariants already
+    asserted)."""
+
+    seed: int
+    acked_requests: int = 0
+    lost_commits: int = 0
+    indeterminate_keys: int = 0
+    pages_pending_at_open: int = 0
+    stale_reads_checked: int = 0
+    recovered_ondemand: int = 0
+    recovered_background: int = 0
+    pages_rebuilt: int = 0
+    fault_counters: dict[str, int] = field(default_factory=dict)
+
+
+def run_serve_while_recovering_round(
+    spec: ServeWhileRecoveringSpec,
+) -> ServeWhileRecoveringReport:
+    """One crash → instant-restart → serve-while-recovering round."""
+    import threading
+    import time
+
+    from repro.server.server import DatabaseServer, ServerConfig
+
+    injector = FaultInjector(
+        FaultPlan(
+            seed=spec.seed ^ 0x1257A27,
+            torn_write_probability=spec.torn_write_probability,
+            wal_tail_loss_probability=spec.wal_tail_loss_probability,
+        )
+    )
+    config = DatabaseConfig(
+        page_size=spec.page_size,
+        buffer_pool_pages=spec.buffer_pool_pages,
+        group_commit=True,
+        group_commit_max_wait_seconds=0.001,
+        lock_timeout_seconds=1.0,
+        latch_timeout_seconds=5.0,
+        ondemand_recovery_timeout_seconds=10.0,
+    )
+    report = ServeWhileRecoveringReport(seed=spec.seed)
+
+    injector.disarm()
+    db = Database(config, fault_injector=injector)
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    txn = db.begin()
+    initial: list[int] = []
+    for i in range(spec.initial_keys):
+        key = (i * 7) % spec.key_space
+        if key not in initial:
+            db.insert(txn, "t", {"id": key, "val": "seed"})
+            initial.append(key)
+    db.commit(txn)
+    db.flush_all_pages()  # a real on-disk working set for the lazy scrub
+    injector.arm()
+
+    server = DatabaseServer(
+        db,
+        ServerConfig(
+            workers=spec.sessions,
+            queue_depth=spec.sessions * 4,
+            request_timeout_seconds=10.0,
+            drain_timeout_seconds=10.0,
+        ),
+    ).start(listen=False)
+
+    workers = [_SessionWorker(i, spec, server) for i in range(spec.sessions)]
+    for worker in workers:
+        for key in initial:
+            if key % spec.sessions == worker.worker_id:
+                worker.state[key] = True
+    threads = [threading.Thread(target=worker.run) for worker in workers]
+    for thread in threads:
+        thread.start()
+
+    def total_acked() -> int:
+        return sum(w.acked for w in workers)
+
+    # Phase 1: let the load run, stealing dirty pages to disk now and
+    # then (so the crash leaves a mix of current, stale, and torn
+    # on-disk pages), and crash at a racing moment.
+    flush_rng = random.Random(spec.seed ^ 0xF1A5)
+    deadline = time.monotonic() + 10.0
+    while total_acked() < spec.crash_after_requests and time.monotonic() < deadline:
+        if not any(t.is_alive() for t in threads):
+            break
+        if flush_rng.random() < spec.flush_probability:
+            dirty = list(db.buffer.dirty_page_table())
+            for page_id in flush_rng.sample(dirty, k=min(len(dirty), 2)):
+                try:
+                    db.flush_page(page_id)
+                except Exception:  # noqa: BLE001 - racing with the load
+                    pass
+        time.sleep(0.001)
+    db.crash()
+    # Abort before joining: post-crash requests can otherwise burn a
+    # lock/latch timeout each against the dead engine, and a session
+    # with many requests left would outlive the join budget.
+    server.abort()
+    _join_all(threads, spec.seed)
+    report.fault_counters = dict(injector.counters)
+    injector.enter_recovery_mode()
+
+    # Phase 2: instant restart with NO background workers — the
+    # database is open but deterministically still recovering, so the
+    # verification reads below must pay (and prove) on-demand recovery.
+    db.instant_restart(redo_workers=spec.redo_workers, background=False)
+    governor = db.recovery
+    _check(governor is not None, spec.seed, "instant restart installed no governor")
+    report.pages_pending_at_open = governor.progress()["pages_pending"]
+
+    server = DatabaseServer(
+        db,
+        ServerConfig(
+            workers=spec.sessions,
+            queue_depth=spec.sessions * 4,
+            request_timeout_seconds=10.0,
+            drain_timeout_seconds=10.0,
+        ),
+    ).start(listen=False)
+
+    # Every key with known acked state is read through the recovering
+    # server: presence must match the acked history exactly (an acked
+    # commit lost OR a pre-crash loser visible would both surface here).
+    client = server.connect_loopback()
+    try:
+        for worker in workers:
+            for key, present in sorted(worker.state.items()):
+                if key in worker.unknown:
+                    continue
+                row = client.fetch("t", "by_id", key)
+                report.stale_reads_checked += 1
+                if present:
+                    _check(
+                        row is not None,
+                        spec.seed,
+                        f"acked key {key} (session {worker.worker_id}) lost "
+                        f"while recovering",
+                    )
+                else:
+                    _check(
+                        row is None,
+                        spec.seed,
+                        f"stale read while recovering: key {key} (session "
+                        f"{worker.worker_id}) should be absent",
+                    )
+    finally:
+        client.close()
+
+    # Phase 3: background drain + a concurrent write burst.
+    governor.start_background()
+    spec2 = replace(
+        spec,
+        seed=spec.seed + 7777,
+        requests_per_session=spec.phase2_requests_per_session,
+    )
+    workers2 = [_SessionWorker(i, spec2, server) for i in range(spec.sessions)]
+    for before, after in zip(workers, workers2):
+        after.state = dict(before.state)
+        after.unknown = set(before.unknown)
+    threads2 = [threading.Thread(target=worker.run) for worker in workers2]
+    for thread in threads2:
+        thread.start()
+    _join_all(threads2, spec.seed)
+    _check(
+        governor.drain(timeout=30.0),
+        spec.seed,
+        f"background redo did not drain: {governor.progress()}",
+    )
+    _check(db.recovery_state == "steady", spec.seed, "state stuck at recovering")
+    server.abort()
+
+    report.acked_requests = total_acked() + sum(w.acked for w in workers2)
+    report.lost_commits = sum(w.lost for w in workers) + sum(
+        w.lost for w in workers2
+    )
+    report.indeterminate_keys = len(
+        set().union(*(w.unknown for w in workers2))
+    )
+    snap = db.stats.snapshot()
+    report.recovered_ondemand = snap.get("recovery.pages_recovered_ondemand", 0)
+    report.recovered_background = snap.get("recovery.pages_recovered_background", 0)
+    report.pages_rebuilt = snap.get("recovery.lazy_pages_rebuilt", 0) + snap.get(
+        "recovery.pages_rebuilt_from_log", 0
+    )
+
+    # Final state check against the combined acked history.
+    _check(db.verify_indexes() == {}, spec.seed, "index structure invalid after drain")
+    txn = db.begin()
+    survivors = {row["id"] for _, row in db.scan(txn, "t", "by_id")}
+    db.commit(txn)
+    for worker in workers2:
+        for key, present in worker.state.items():
+            if key in worker.unknown:
+                continue
+            if present:
+                _check(
+                    key in survivors,
+                    spec.seed,
+                    f"acked key {key} (session {worker.worker_id}) lost after drain",
+                )
+            else:
+                _check(
+                    key not in survivors,
+                    spec.seed,
+                    f"deleted/never-committed key {key} (session "
+                    f"{worker.worker_id}) survived the drain",
+                )
+    known = set().union(*(set(w.state) | w.unknown for w in workers2))
+    ghosts = survivors - known
+    _check(not ghosts, spec.seed, f"ghost keys {sorted(ghosts)}")
+
+    # Instant restart must leave exactly the state classic stop-the-world
+    # recovery reaches: crash again and compare.
+    db.crash()
+    db.restart()
+    txn = db.begin()
+    survivors_again = {row["id"] for _, row in db.scan(txn, "t", "by_id")}
+    db.commit(txn)
+    _check(
+        survivors_again == survivors,
+        spec.seed,
+        "stop-the-world restart diverged from the instant-restart state",
+    )
+    db.close()
+    return report
+
+
+def run_serve_while_recovering(
+    seeds: range, base: ServeWhileRecoveringSpec | None = None
+) -> list[ServeWhileRecoveringReport]:
+    """One serve-while-recovering round per seed (raises on the first
+    invariant violation)."""
+    base = base or ServeWhileRecoveringSpec()
+    return [
+        run_serve_while_recovering_round(replace(base, seed=seed))
+        for seed in seeds
+    ]

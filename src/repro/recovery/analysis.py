@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.txn.transaction import Transaction, TxnStatus
-from repro.wal.records import NULL_LSN, RecordKind
+from repro.wal.records import NULL_LSN, RM_HEAP, RecordKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db import Database
@@ -31,6 +31,25 @@ class AnalysisResult:
     redo_lsn: int = NULL_LSN
     end_lsn: int = NULL_LSN
     records_scanned: int = 0
+    max_txn_id: int = 0
+    next_txn_id: int = 0
+    """Floor carried by the newest checkpoint seen (0 if none recorded
+    one); together with ``max_txn_id`` it re-establishes the no-reuse
+    transaction-id floor without a full-history scan."""
+    page_heads: dict[int, int] = field(default_factory=dict)
+    """Page → LSN of the newest record seen for it: the tail of each
+    dirty page's per-page log chain, merged from the scan and the
+    checkpoint-carried ``last_lsn`` entries.  Instant restart walks the
+    chain backwards from here to recover one page without scanning the
+    redo span; every restart also re-seeds the log manager's volatile
+    chain map from it."""
+    heap_formats: dict[int, set[int]] = field(default_factory=dict)
+    """Table id → heap pages formatted inside the analysis span.  Pages
+    formatted earlier are already reflected wherever the in-memory heap
+    views came from (the pre-crash process, or a standby's applied
+    stream — the standby advances its master record in the same loop
+    that notes formats, so its view always covers everything at or
+    before the master checkpoint)."""
 
     @property
     def losers(self) -> list[Transaction]:
@@ -65,6 +84,9 @@ def run_analysis(ctx: "Database") -> AnalysisResult:
                 _merge_checkpoint(result, record.payload)
             continue
 
+        if record.txn_id > result.max_txn_id:
+            result.max_txn_id = record.txn_id
+
         if record.txn_id:
             txn = result.transactions.get(record.txn_id)
             if txn is None:
@@ -84,6 +106,12 @@ def run_analysis(ctx: "Database") -> AnalysisResult:
 
         if record.is_redoable and record.page_id is not None:
             result.dirty_pages.setdefault(record.page_id, record.lsn)
+            result.page_heads[record.page_id] = record.lsn
+            if record.rm == RM_HEAP and record.op == "format":
+                table_id = record.payload.get("table_id", 0)
+                result.heap_formats.setdefault(table_id, set()).add(
+                    record.page_id
+                )
 
     if result.dirty_pages:
         result.redo_lsn = min(result.dirty_pages.values())
@@ -110,3 +138,9 @@ def _merge_checkpoint(result: AnalysisResult, payload: dict) -> None:
         current = result.dirty_pages.get(page_id)
         if current is None or rec_lsn < current:
             result.dirty_pages[page_id] = rec_lsn
+        last_lsn = entry.get("last_lsn", NULL_LSN)
+        if last_lsn > result.page_heads.get(page_id, NULL_LSN):
+            result.page_heads[page_id] = last_lsn
+    floor = payload.get("next_txn_id", 0)
+    if floor > result.next_txn_id:
+        result.next_txn_id = floor

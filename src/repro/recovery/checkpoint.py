@@ -36,14 +36,25 @@ def take_checkpoint(ctx: "Database") -> int:
             }
         )
     dirty_pages = [
-        {"page_id": page_id, "rec_lsn": rec_lsn}
+        {
+            "page_id": page_id,
+            "rec_lsn": rec_lsn,
+            # Tail of the page's log chain, so a restart whose analysis
+            # span starts here can still walk the chain for pages not
+            # touched after this checkpoint.
+            "last_lsn": ctx.log.page_chain_head(page_id) or rec_lsn,
+        }
         for page_id, rec_lsn in ctx.buffer.dirty_page_table().items()
     ]
     end = LogRecord(
         kind=RecordKind.CKPT_END,
         txn_id=0,
         undoable=False,
-        payload={"txn_table": txn_table, "dirty_pages": dirty_pages},
+        payload={
+            "txn_table": txn_table,
+            "dirty_pages": dirty_pages,
+            "next_txn_id": ctx.txns.next_txn_id,
+        },
     )
     ctx.log.append(end)
     ctx.log.force()

@@ -45,6 +45,11 @@ def run_restart(ctx: "Database") -> RestartReport:
 
     analysis = run_analysis(ctx)
 
+    # The log's volatile per-page chain map died with the crash; the
+    # first post-restart append to a still-dirty page must link to its
+    # pre-crash records, so restore the tails analysis reconstructed.
+    ctx.log.seed_page_chain(analysis.page_heads)
+
     # Adopt reconstructed in-flight transactions so undo can log CLRs
     # through the ordinary transaction machinery.
     for txn in analysis.transactions.values():

@@ -227,7 +227,12 @@ class ReplicationManager:
                 }
                 for name, acked in self._acked.items()
             }
-        return {"flushed_lsn": flushed, "sync": self.sync, "subscribers": subs}
+        return {
+            "flushed_lsn": flushed,
+            "sync": self.sync,
+            "recovery_state": self.db.recovery_state,
+            "subscribers": subs,
+        }
 
     # -- synchronous replication -------------------------------------------
 

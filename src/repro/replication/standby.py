@@ -45,7 +45,7 @@ from repro.recovery.redo import apply_record
 from repro.recovery.restart import RestartReport
 from repro.replication.catalog import install_catalog
 from repro.server.client import DatabaseClient
-from repro.wal.records import NULL_LSN, RecordKind
+from repro.wal.records import NULL_LSN, RM_HEAP, RecordKind
 
 
 class Standby:
@@ -169,6 +169,13 @@ class Standby:
             for record in records:
                 if record.is_redoable:
                     apply_record(db, record)
+                    if record.rm == RM_HEAP and record.op == "format":
+                        # Maintain heap views live so an instant-restart
+                        # promotion need not rediscover them by fixing
+                        # every page.
+                        db.note_heap_page(
+                            record.payload.get("table_id", 0), record.page_id
+                        )
                 elif record.kind is RecordKind.CKPT_BEGIN:
                     self._pending_ckpt = record.lsn
                 elif record.kind is RecordKind.CKPT_END:
@@ -265,26 +272,44 @@ class Standby:
 
     # -- failover ----------------------------------------------------------
 
-    def promote(self) -> RestartReport:
-        """Promote to read-write primary: stop replay, run full ARIES
-        restart recovery (analysis from the last shipped checkpoint,
-        redo, undo of in-flight transactions)."""
+    def promote(
+        self, instant: bool = False, redo_workers: int = 2
+    ) -> RestartReport:
+        """Promote to read-write primary: stop replay, then recover.
+
+        Stop-the-world by default (full ARIES restart: analysis from
+        the last shipped checkpoint, redo, undo of in-flight
+        transactions).  With ``instant=True`` the promoted database
+        opens after analysis + undo and finishes redo on demand and in
+        ``redo_workers`` background workers — failover time stops
+        depending on how far replay was behind."""
         db = self._require_db()
         if self._promoted:
             raise StandbyError("standby is already promoted")
         self.stop()
         with self._replay_lock:
-            report = db.restart()
+            if instant:
+                report: RestartReport = db.instant_restart(
+                    redo_workers=redo_workers
+                )
+            else:
+                report = db.restart()
             self._promoted = True
         db.stats.incr("standby.promotions")
         return report
 
-    def promote_to_server(self, server_config=None, listen: bool = False):
+    def promote_to_server(
+        self,
+        server_config=None,
+        listen: bool = False,
+        instant: bool = False,
+        redo_workers: int = 2,
+    ):
         """Promote, then serve read-write traffic from the recovered
         database.  Returns ``(server, restart_report)``."""
         from repro.server.server import DatabaseServer, ServerConfig
 
-        report = self.promote()
+        report = self.promote(instant=instant, redo_workers=redo_workers)
         server = DatabaseServer(
             self.db, server_config or ServerConfig()
         ).start(listen=listen)

@@ -163,6 +163,11 @@ class DatabaseClient:
     def server_stats(self, prefix: str = "") -> dict[str, int]:
         return self.request("stats", prefix=prefix)  # type: ignore[return-value]
 
+    def server_status(self) -> dict:
+        """Recovery state over the wire: ``{"state": "recovering"|"steady",
+        "recovering": bool, "recovery": {...progress...}}``."""
+        return self.request("status")  # type: ignore[return-value]
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:

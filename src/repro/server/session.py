@@ -81,12 +81,15 @@ class Session:
         #: Replication ops run directly on the connection thread instead
         #: of the bounded worker pool: a long-poll parked for the next
         #: flush must not occupy (or be starved by) a worker slot.
+        #: ``status`` joins them so clients can watch a recovery drain
+        #: even when every worker slot is paying lazy-recovery costs.
         self._direct_ops: dict[str, Callable[[dict], object]] = {
             "repl_handshake": self._op_repl_handshake,
             "repl_snapshot": self._op_repl_snapshot,
             "repl_poll": self._op_repl_poll,
             "repl_ack": self._op_repl_ack,
             "repl_status": self._op_repl_status,
+            "status": self._op_status,
         }
 
     # -- connection thread -------------------------------------------------
@@ -313,6 +316,18 @@ class Session:
     def _op_close(self, request: dict) -> str:
         self.closing = True
         return "bye"
+
+    def _op_status(self, request: dict) -> dict:
+        """Wire-level recovery state: ``recovering`` until an instant
+        restart's drain finishes, ``steady`` otherwise, plus the
+        governor's progress so clients and standbys can back off."""
+        db = self.server.db
+        state = db.recovery_state
+        result: dict = {"state": state, "recovering": state == "recovering"}
+        governor = db.recovery
+        if governor is not None:
+            result["recovery"] = governor.progress()
+        return result
 
     # -- replication (WAL shipping) ----------------------------------------
 

@@ -69,6 +69,11 @@ class BufferPool:
         self._dirty_page_table: dict[int, int] = {}
         #: Called with the PermanentIOError before it is re-raised.
         self.on_fatal_io: Callable[[PermanentIOError], None] | None = None
+        #: Instant restart: consulted with the page id at the top of
+        #: every :meth:`fix`, *before* the pool mutex is taken, so a
+        #: recovery governor can lazily recover the page first (the
+        #: recovery work itself fixes pages through this pool).
+        self.recovery_hook: Callable[[int], None] | None = None
 
     # -- fault-hardened I/O ---------------------------------------------------
 
@@ -92,6 +97,9 @@ class BufferPool:
         Reads from disk on a miss.  The caller must latch the page
         before inspecting or modifying it, and must :meth:`unfix` it.
         """
+        hook = self.recovery_hook
+        if hook is not None:
+            hook(page_id)
         with self._mutex:
             frame = self._frames.get(page_id)
             if frame is not None:
@@ -158,6 +166,17 @@ class BufferPool:
             if frame is not None:
                 frame.dirty = True
 
+    def forget_clean_entry(self, page_id: int) -> None:
+        """Drop the dirty-page-table entry of a page that is not in fact
+        dirty.  Instant restart pre-seeds recLSNs for every page redo
+        might touch (so fuzzy checkpoints taken while recovering stay
+        safe); a page that turns out to be current on disk sheds its
+        pre-seeded entry here."""
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is None or not frame.dirty:
+                self._dirty_page_table.pop(page_id, None)
+
     def dirty_page_table(self) -> dict[int, int]:
         with self._mutex:
             return dict(self._dirty_page_table)
@@ -212,6 +231,7 @@ class BufferPool:
 
     def crash(self) -> None:
         """Lose all volatile state (frames and dirty page table)."""
+        self.recovery_hook = None
         with self._mutex:
             self._frames.clear()
             self._dirty_page_table.clear()

@@ -86,6 +86,16 @@ class FaultInjector:
         #: (op, page_id) → remaining attempts the active transient fault fails.
         self._transient_remaining: dict[tuple[str, int], int] = {}
         self.counters: dict[str, int] = {}
+        self._stats: StatsRegistry | None = None
+
+    def attach_stats(self, stats: StatsRegistry) -> None:
+        """Mirror every fault counter into ``stats`` as ``faults.<name>``
+        so operators see injected faults next to the recovery work they
+        caused (``tools.inspect.summarize_stats``)."""
+        with self._mutex:
+            self._stats = stats
+            for name, value in self.counters.items():
+                stats.incr(f"faults.{name}", value)
 
     # -- mode control -------------------------------------------------------
 
@@ -196,6 +206,8 @@ class FaultInjector:
 
     def _count(self, name: str) -> None:
         self.counters[name] = self.counters.get(name, 0) + 1
+        if self._stats is not None:
+            self._stats.incr(f"faults.{name}")
 
 
 def torn_image(new: bytes, old: bytes, sector_size: int, tear: tuple[str, int]) -> bytes:

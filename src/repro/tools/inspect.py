@@ -181,11 +181,14 @@ _STAT_GROUPS = (
     ("latches", "latch."),
     ("buffer / I/O", "buffer."),
     ("disk", "disk."),
+    ("injected faults", "faults."),
     ("log", "log."),
     ("btree", "btree."),
     ("heap", "heap."),
     ("transactions", "txn."),
     ("recovery", "recovery."),
+    ("server", "server."),
+    ("standby", "standby."),
 )
 
 
@@ -197,3 +200,34 @@ def summarize_stats(db: "Database") -> str:
         if body:
             sections.append(f"-- {title} --\n{body}")
     return "\n\n".join(sections) if sections else "(no counters)"
+
+
+def dump_recovery_progress(db: "Database") -> str:
+    """One-look view of a draining instant restart: governor progress
+    plus the recovery counters an operator watches while pages drain.
+    Steady state (or a database that never instant-restarted) says so.
+    """
+    lines = [f"recovery state: {db.recovery_state}"]
+    governor = db.recovery
+    if governor is None:
+        lines.append("(no instant restart since the last crash)")
+    else:
+        progress = governor.progress()
+        lines.append(
+            f"pages pending: {progress['pages_pending']} "
+            f"(redo: {progress['pages_redo_pending']}, "
+            f"unverified: {progress['pages_unverified']})"
+        )
+        lines.append(
+            f"recovered on demand: {progress['pages_recovered_ondemand']}, "
+            f"in background: {progress['pages_recovered_background']}"
+        )
+        if progress["background_errors"]:
+            lines.append(f"background errors: {progress['background_errors']}")
+    counters = db.stats.format_table("recovery.")
+    if counters:
+        lines.append(counters)
+    faults = db.stats.format_table("faults.")
+    if faults:
+        lines.append("-- injected faults --\n" + faults)
+    return "\n".join(lines)

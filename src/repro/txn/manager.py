@@ -95,6 +95,14 @@ class TransactionManager:
             if txn_id > self._next_txn_id:
                 self._next_txn_id = txn_id
 
+    @property
+    def next_txn_id(self) -> int:
+        """The id the next ``begin`` would hand out (checkpoints record
+        it so instant restart can re-establish the no-reuse floor
+        without a full log scan)."""
+        with self._mutex:
+            return self._next_txn_id
+
     # -- logging helper ---------------------------------------------------------
 
     def log_for(self, txn: Transaction, record: LogRecord) -> int:

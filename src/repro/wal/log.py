@@ -35,7 +35,14 @@ from repro.common.errors import (
     WALError,
 )
 from repro.common.stats import StatsRegistry
-from repro.wal.records import NULL_LSN, LogRecord
+from repro.wal.records import (
+    NULL_LSN,
+    LogRecord,
+    RecordHeader,
+    RecordKind,
+    header_from_bytes,
+)
+from repro.wal.serialization import unframe_record
 
 
 class _CommitWaiter:
@@ -69,6 +76,13 @@ class LogManager:
         #: Set by Database.crash(): refuse appends until restart begins,
         #: so threads still running against the dead instance fail fast.
         self._halted = False
+        #: Per-page log chain tails: page id → LSN of the newest record
+        #: that touched the page.  Each appended page record is stamped
+        #: with the previous tail as its ``prev_page_lsn``, so the
+        #: records of one page form a backward-linked list through the
+        #: log — single-page recovery walks it instead of scanning the
+        #: redo span.  Volatile; restart re-seeds it from analysis.
+        self._page_chain: dict[int, int] = {}
         # Group commit.  Lock ordering: _gc_cond may be held while
         # taking _mutex, never the other way around.
         self._gc_cond = threading.Condition()
@@ -103,6 +117,14 @@ class LogManager:
                 raise LogHaltedError("log halted by crash; restart first")
             lsn = self._truncated + len(self._buffer) + 1
             record.lsn = lsn
+            if record.page_id is not None and record.kind in (
+                RecordKind.UPDATE,
+                RecordKind.CLR,
+            ):
+                record.prev_page_lsn = self._page_chain.get(
+                    record.page_id, NULL_LSN
+                )
+                self._page_chain[record.page_id] = lsn
             self._buffer += record.to_bytes()
             self._records[lsn] = record
             self._append_count += 1
@@ -475,6 +497,26 @@ class LogManager:
         with self._mutex:
             return self._truncated + 1
 
+    # -- per-page chain ------------------------------------------------------
+
+    def seed_page_chain(self, heads: dict[int, int]) -> None:
+        """Install the per-page chain tails reconstructed by restart
+        analysis (scan heads merged with checkpoint-carried ones).
+
+        The chain map is volatile, so after a crash the first append
+        for a page would otherwise start a fresh chain and orphan the
+        page's pre-crash records.  That is only safe for *clean* pages
+        (their history is on disk); dirty pages must link through the
+        crash, which is exactly what the analysis heads restore."""
+        with self._mutex:
+            self._page_chain = dict(heads)
+
+    def page_chain_head(self, page_id: int) -> int:
+        """LSN of the newest record that touched ``page_id`` (NULL_LSN
+        if no chain is known — i.e. the page is clean)."""
+        with self._mutex:
+            return self._page_chain.get(page_id, NULL_LSN)
+
     # -- master record -------------------------------------------------------
 
     def write_master(self, checkpoint_begin_lsn: int) -> None:
@@ -551,6 +593,32 @@ class LogManager:
                 offset = next_offset
             return
         yield from self._follow_records(from_lsn, stop, poll_interval)
+
+    def record_headers(self, from_lsn: int = 1) -> Iterator[RecordHeader]:
+        """Iterate record *headers* in LSN order — kind, txn, rm, op,
+        page id — without ever decoding payload bytes.
+
+        This is the fast scan the instant-restart governor uses to
+        index the redo span by page: on payload-heavy logs it is
+        several times cheaper than :meth:`records`, and the payloads of
+        the few records that matter individually can be fetched later
+        with :meth:`read`.  Like :meth:`records`, iteration stops
+        cleanly at the first torn frame.
+        """
+        with self._mutex:
+            buffer = bytes(self._buffer)
+            truncated = self._truncated
+        offset = max(from_lsn - 1 - truncated, 0)
+        while offset < len(buffer):
+            try:
+                header, next_offset = header_from_bytes(
+                    buffer, offset, lsn=truncated + offset + 1
+                )
+            except CorruptLogError:
+                self._stats.incr("log.tail_frame_errors")
+                return
+            yield header
+            offset = next_offset
 
     def _follow_records(
         self,
@@ -665,6 +733,9 @@ class LogManager:
         frame that is cut short or fails its CRC (a torn tail persisted
         by :meth:`crash`) ends the usable log, and everything from there
         on is physically dropped.  Restart calls this before analysis.
+        Only the frames are validated (the CRC covers the whole body),
+        so the walk costs one checksum per record, not a record parse —
+        this runs in the dark window before an instant restart opens.
         Returns the number of bytes discarded.
         """
         with self._mutex:
@@ -672,7 +743,7 @@ class LogManager:
             offset = 0
             while offset < len(buffer):
                 try:
-                    _, offset = LogRecord.from_bytes(buffer, offset)
+                    _, offset = unframe_record(buffer, offset)
                 except CorruptLogError:
                     break
             dropped = len(buffer) - offset
@@ -711,6 +782,9 @@ class LogManager:
             self._records = survivors
             # Whatever survived is on stable storage by definition.
             self._flushed_len = self._truncated + keep
+            # Chain tails are volatile; restart re-seeds them from the
+            # analysis pass before any new append can need them.
+            self._page_chain = {}
         # Committers parked for a group-commit flush are settled now:
         # durable if their record made the forced prefix, lost if the
         # crash beat the batched flush.

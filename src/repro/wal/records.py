@@ -28,8 +28,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
+from typing import NamedTuple
+
 from repro.common.errors import WALError
 from repro.wal.serialization import (
+    decode_dict_prefix,
     decode_value,
     encode_value,
     frame_record,
@@ -72,6 +75,11 @@ class LogRecord:
     rm: str = RM_TXN
     op: str = ""
     page_id: int | None = None
+    #: LSN of the previous record that touched the same page (the
+    #: per-page log chain of instant restart: recovering one page walks
+    #: this chain backwards instead of scanning the whole redo span).
+    #: Stamped by the log manager at append time.
+    prev_page_lsn: int = NULL_LSN
     payload: dict[str, Any] = field(default_factory=dict)
     undo_next_lsn: int | None = None
     undoable: bool = True
@@ -103,6 +111,7 @@ class LogRecord:
             "rm": self.rm,
             "op": self.op,
             "page_id": self.page_id,
+            "prev_page_lsn": self.prev_page_lsn,
             "payload": self.payload,
             "undo_next_lsn": self.undo_next_lsn,
             "undoable": self.undoable,
@@ -122,6 +131,7 @@ class LogRecord:
             rm=body["rm"],
             op=body["op"],
             page_id=body["page_id"],
+            prev_page_lsn=body.get("prev_page_lsn", NULL_LSN),
             payload=body["payload"],
             undo_next_lsn=body["undo_next_lsn"],
             undoable=body["undoable"],
@@ -137,6 +147,49 @@ class LogRecord:
         if self.undo_next_lsn is not None:
             bits.append(f"undo_next={self.undo_next_lsn}")
         return f"<LogRecord {' '.join(bits)}>"
+
+
+class RecordHeader(NamedTuple):
+    """The cheap-to-decode prefix of one log record: everything that
+    precedes the payload in the serialized body, plus the frame
+    position.  A header scan answers "which pages does the redo span
+    touch, and with which LSNs?" without paying for payload decoding —
+    see :meth:`~repro.wal.log.LogManager.record_headers`."""
+
+    lsn: int
+    kind: RecordKind
+    txn_id: int
+    rm: str
+    op: str
+    page_id: int | None
+    prev_page_lsn: int
+
+    @property
+    def is_redoable(self) -> bool:
+        return (
+            self.kind in (RecordKind.UPDATE, RecordKind.CLR)
+            and self.page_id is not None
+        )
+
+
+def header_from_bytes(
+    raw: bytes, offset: int = 0, lsn: int = NULL_LSN
+) -> tuple[RecordHeader, int]:
+    """Decode one framed record's header fields only (no payload)."""
+    body, next_offset = unframe_record(raw, offset)
+    fields = decode_dict_prefix(body, stop_key="payload")
+    return (
+        RecordHeader(
+            lsn=lsn,
+            kind=RecordKind(fields["kind"]),
+            txn_id=fields["txn_id"],
+            rm=fields["rm"],
+            op=fields["op"],
+            page_id=fields["page_id"],
+            prev_page_lsn=fields.get("prev_page_lsn", NULL_LSN),
+        ),
+        next_offset,
+    )
 
 
 def update_record(

@@ -228,3 +228,28 @@ def unframe_record(raw: bytes, offset: int = 0) -> tuple[bytes, int]:
     if zlib.crc32(body) != crc:
         raise CorruptLogError(f"log record at offset {offset} failed its CRC check")
     return body, end
+
+
+def decode_dict_prefix(body: bytes, stop_key: str) -> dict:
+    """Decode a serialized dict's leading entries, stopping *before*
+    the value of ``stop_key``.
+
+    Log-record bodies put the small fixed fields ahead of the payload
+    (see ``LogRecord.to_bytes``); scans that only need those fields can
+    skip decoding the payload entirely — which is most of the bytes of
+    a typical update record.
+    """
+    if body[:1] != _TAG_DICT:
+        raise WALError("expected a serialized dict")
+    (count,) = _U32.unpack_from(body, 1)
+    offset = 5
+    out: dict = {}
+    for _ in range(count):
+        (key_len,) = _U32.unpack_from(body, offset)
+        offset += 4
+        key = body[offset : offset + key_len].decode("utf-8")
+        offset += key_len
+        if key == stop_key:
+            break
+        out[key], offset = decode_value(body, offset)
+    return out

@@ -85,6 +85,25 @@ class TestRestoreTargets:
         with restored.transaction() as txn:
             assert restored.fetch(txn, "t", "by_id", 500)["v"] == "fresh"
 
+    def test_restore_at_exact_checkpoint_boundary(self):
+        """A target LSN landing exactly on a checkpoint boundary: once
+        at the flushed position right after CKPT_END (the whole
+        checkpoint is inside the history) and once at the CKPT_BEGIN
+        LSN itself (the clipped history ends with a *begun but
+        unfinished* checkpoint, which the restore must not trust)."""
+        db, copy, history = build_history(rounds=8, trim_at=3, deletes=False)
+        expected = history[-1][1]
+        db.flush_all_pages()
+        db.checkpoint()
+        after_ckpt = db.log.flushed_lsn
+        restored = restore_to_lsn(db, copy, after_ckpt)
+        assert_state(restored, expected, range(8))
+
+        ckpt_begin = db.log.master_lsn
+        assert ckpt_begin is not None and ckpt_begin <= after_ckpt
+        restored = restore_to_lsn(db, copy, ckpt_begin)
+        assert_state(restored, expected, range(8))
+
     def test_restored_instance_is_independent(self):
         db, copy, history = build_history(rounds=6, trim_at=2, deletes=False)
         target, expected = history[3]

@@ -1,0 +1,68 @@
+"""The wire-level ``status`` op: recovery state over the protocol.
+
+A client must be able to tell whether the server it reached is still
+draining an instant restart (``recovering``, with the governor's
+progress attached) or fully recovered (``steady``) — ``status`` is a
+direct op, answered by the session thread even when every worker slot
+is busy, so an operator can watch a drain from outside.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DatabaseConfig
+from repro.db import Database
+from repro.server import DatabaseServer, ServerConfig
+
+
+def build_crashed_db(rows=30):
+    db = Database(DatabaseConfig(buffer_pool_pages=96))
+    db.create_table("t")
+    db.create_index("t", "by_id", column="id", unique=True)
+    for i in range(rows):
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": i, "v": f"v{i}"})
+    db.crash()
+    return db
+
+
+class TestStatusOp:
+    def test_steady_on_a_never_crashed_database(self):
+        db = Database(DatabaseConfig())
+        db.create_table("t")
+        server = DatabaseServer(db, ServerConfig(workers=2)).start(listen=False)
+        try:
+            with server.connect_loopback() as client:
+                status = client.server_status()
+                assert status["state"] == "steady"
+                assert status["recovering"] is False
+                assert "recovery" not in status
+        finally:
+            server.shutdown()
+            db.close()
+
+    def test_recovering_then_steady_across_a_drain(self):
+        db = build_crashed_db()
+        db.instant_restart(background=False)
+        server = DatabaseServer(db, ServerConfig(workers=2)).start(listen=False)
+        try:
+            with server.connect_loopback() as client:
+                status = client.server_status()
+                assert status["state"] == "recovering"
+                assert status["recovering"] is True
+                progress = status["recovery"]
+                assert progress["pages_pending"] > 0
+                assert progress["drained"] is False
+
+                # Reads through the recovering server work (and recover
+                # their pages on demand).
+                assert client.fetch("t", "by_id", 0)["v"] == "v0"
+
+                assert db.recovery.drain(timeout=10.0)
+                status = client.server_status()
+                assert status["state"] == "steady"
+                assert status["recovering"] is False
+                assert status["recovery"]["drained"] is True
+                assert status["recovery"]["pages_pending"] == 0
+        finally:
+            server.shutdown()
+            db.close()
