@@ -1,0 +1,29 @@
+"""Stable hash partitioning of user keys across shards.
+
+Python's built-in ``hash`` is salted per process, so the router, the
+shards, and any subprocess workers must share a deterministic function
+instead: CRC-32 over a canonical byte form of the key.  Whatever
+process computes it, one key always lands on one shard.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def key_bytes(key: object) -> bytes:
+    """Canonical byte form of a routable user key."""
+    if isinstance(key, bool):
+        return b"z1" if key else b"z0"
+    if isinstance(key, int):
+        return b"i%d" % key
+    if isinstance(key, bytes):
+        return b"b" + key
+    if isinstance(key, float):
+        return b"f" + repr(key).encode("ascii")
+    return b"s" + str(key).encode("utf-8")
+
+
+def shard_for_key(key: object, num_shards: int) -> int:
+    """The shard index owning ``key`` (stable across processes)."""
+    return zlib.crc32(key_bytes(key)) % num_shards

@@ -230,6 +230,24 @@ class ServerShutdownError(ServerError):
     """The server is shutting down and no longer accepts requests."""
 
 
+class ClusterError(ReproError):
+    """Base class for sharding / two-phase-commit failures."""
+
+
+class TwoPhaseAbortError(ClusterError):
+    """A cross-shard transaction was aborted during two-phase commit.
+
+    Raised when a participant voted no (or died) during phase 1, or
+    when the coordinator's commit decision could not be made durable.
+    Under presumed abort this outcome is *definite*: no participant has
+    committed, and any prepared branch resolves to abort at recovery.
+    """
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard could not be reached (connection lost or shard down)."""
+
+
 class SimulatedCrash(ReproError):  # noqa: N818 - reads as an event
     """Raised by an armed failpoint to simulate a system failure.
 

@@ -35,6 +35,7 @@ from repro.common.errors import (
     DatabaseClosedError,
     KeyNotFoundError,
     PermanentIOError,
+    TransactionNotActiveError,
 )
 from repro.common.failpoints import FailpointRegistry
 from repro.common.keys import UserKey, encode_key
@@ -299,6 +300,33 @@ class Database:
     def rollback_to_savepoint(self, txn: Transaction, name: str) -> None:
         self.txns.rollback_to_savepoint(self, txn, name)
 
+    # -- two-phase commit (this instance as a shard/participant) ---------------
+
+    def prepare(self, txn: Transaction, gid: str) -> str:
+        """Phase-1 vote for global transaction ``gid``: ``"yes"`` (the
+        branch is PREPARED, locks held, decision pending) or
+        ``"read-only"`` (the branch had no writes and is gone)."""
+        vote = self.txns.prepare(txn, gid)
+        self._maybe_checkpoint()
+        return vote
+
+    def commit_prepared(self, gid: str) -> None:
+        txn = self.txns.find_prepared(gid)
+        if txn is None:
+            raise TransactionNotActiveError(f"no prepared transaction {gid!r}")
+        self.txns.commit_prepared(txn)
+        self._maybe_checkpoint()
+
+    def rollback_prepared(self, gid: str) -> None:
+        txn = self.txns.find_prepared(gid)
+        if txn is None:
+            raise TransactionNotActiveError(f"no prepared transaction {gid!r}")
+        self.txns.rollback_prepared(self, txn)
+
+    def indoubt_transactions(self) -> list[Transaction]:
+        """PREPAREd branches awaiting the coordinator's decision."""
+        return self.txns.prepared_transactions()
+
     # -- data operations ----------------------------------------------------------------
 
     def insert(self, txn: Transaction, table_name: str, row: Row) -> RID:
@@ -375,8 +403,10 @@ class Database:
 
         The safe point is the minimum of: the master checkpoint's begin
         LSN (analysis starts there), every dirty page's recLSN (redo
-        starts at their minimum), and every active transaction's first
-        record (total rollback walks back to it).  Returns bytes
+        starts at their minimum), and every undecided transaction's
+        first record — active ones (total rollback walks back to it)
+        and prepared ones (a restart re-reads their PREPARE records,
+        and the coordinator may yet decide abort).  Returns bytes
         reclaimed.  Call after a checkpoint for best effect.
         """
         from repro.wal.records import NULL_LSN
@@ -390,7 +420,7 @@ class Database:
         dirty = self.buffer.dirty_page_table()
         if dirty:
             candidates.append(min(dirty.values()))
-        for txn in self.txns.active_transactions():
+        for txn in self.txns.undecided_transactions():
             if txn.first_lsn != NULL_LSN:
                 candidates.append(txn.first_lsn)
         return self.log.truncate_prefix(min(candidates))

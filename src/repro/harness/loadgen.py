@@ -52,6 +52,13 @@ class LoadgenSpec:
     key_column: str = "id"
     value_size: int = 16
     seed: int = 42
+    skew: float = 0.0
+    """Zipfian hot-key skew.  0 = uniform key choice; > 0 is the
+    Zipfian theta (YCSB uses 0.99): key ranks are drawn ~ 1/rank^theta,
+    so a handful of hot keys absorb most of the traffic.  Under a
+    hash-partitioned cluster that concentrates load on the shards
+    owning the hot keys — the scenario the cluster benchmarks use to
+    show router behavior beyond uniform traffic."""
 
     def __post_init__(self) -> None:
         total = (
@@ -64,6 +71,38 @@ class LoadgenSpec:
             raise ValueError(f"operation fractions sum to {total}, not 1.0")
         if self.workers < 1 or self.ops_per_txn < 1:
             raise ValueError("workers and ops_per_txn must be >= 1")
+        if self.skew < 0:
+            raise ValueError("skew must be >= 0")
+
+
+class ZipfianGenerator:
+    """Zipfian ranks over ``[0, n)`` (Gray et al., the YCSB generator).
+
+    Rank ``k`` is drawn with probability proportional to
+    ``1 / (k+1)^theta``; the popular items are the *low* ranks, so
+    callers scatter ranks over the key space (see
+    :meth:`_Worker._next_key`) to avoid hot keys being adjacent."""
+
+    def __init__(self, n: int, theta: float, rng: random.Random) -> None:
+        if not 0 < theta < 1:
+            # theta >= 1 diverges as n grows; YCSB caps at 0.99 too.
+            theta = min(max(theta, 1e-6), 0.99)
+        self.n = n
+        self.theta = theta
+        self.rng = rng
+        self.zetan = sum(1.0 / (i + 1) ** theta for i in range(n))
+        self.zeta2 = 1.0 + 2.0 ** -theta
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self.zeta2 / self.zetan)
+
+    def next_rank(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < self.zeta2:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
 
 
 class LatencyRecorder:
@@ -189,11 +228,27 @@ class _Worker:
         self.stop_at = stop_at
         self.report = LoadgenReport(spec)
         self.rng = random.Random(spec.seed + 7919 * worker_id)
+        self.zipf = (
+            ZipfianGenerator(spec.key_space, spec.skew, self.rng)
+            if spec.skew > 0
+            else None
+        )
+
+    def _next_key(self) -> int:
+        spec = self.spec
+        if self.zipf is None:
+            return self.rng.randrange(spec.key_space)
+        # Scatter ranks over the key space (FNV-style mix) so the hot
+        # keys aren't the consecutive low integers — consecutive keys
+        # share B-tree leaves (and often a shard), which would conflate
+        # key-popularity skew with key-adjacency effects.
+        rank = self.zipf.next_rank()
+        return (rank * 2654435761) % spec.key_space
 
     def _next_op(self) -> tuple[str, int]:
         spec = self.spec
         roll = self.rng.random()
-        key = self.rng.randrange(spec.key_space)
+        key = self._next_key()
         if roll < spec.fetch_fraction:
             return "fetch", key
         if roll < spec.fetch_fraction + spec.insert_fraction:
@@ -317,3 +372,46 @@ def run_loadgen(
             merged.op_counts[kind] = merged.op_counts.get(kind, 0) + count
         merged.latency.merge(report.latency)
     return merged
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: drive a running server over TCP.
+
+    ``python -m repro.harness.loadgen --port 5432 --skew 0.99`` sends a
+    Zipfian hot-key workload; omit ``--skew`` for uniform keys."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description="closed-loop load generator")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=100, dest="requests")
+    parser.add_argument("--key-space", type=int, default=2000)
+    parser.add_argument("--ops-per-txn", type=int, default=1)
+    parser.add_argument(
+        "--skew",
+        type=float,
+        default=0.0,
+        help="Zipfian theta (0 = uniform, YCSB hot-key default is 0.99)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    spec = LoadgenSpec(
+        workers=args.workers,
+        requests_per_worker=args.requests,
+        key_space=args.key_space,
+        ops_per_txn=args.ops_per_txn,
+        skew=args.skew,
+        seed=args.seed,
+    )
+    report = run_loadgen(
+        lambda: DatabaseClient.connect(args.host, args.port), spec
+    )
+    print(json.dumps(report.to_dict(), indent=2))
+    return 0 if not report.errors else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

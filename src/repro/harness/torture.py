@@ -1094,3 +1094,376 @@ def run_serve_while_recovering(
         run_serve_while_recovering_round(replace(base, seed=seed))
         for seed in seeds
     ]
+
+
+# -- cluster (2PC) torture mode ----------------------------------------------
+#
+# The modes above verify single-node durability.  This mode verifies the
+# *atomic commitment* contract of the sharded cluster: client sessions
+# mix single-shard transactions with cross-shard two-phase commits while
+# a crash lands on a random subset of {one shard, the coordinator, both}
+# — including inside a group-commit flush window, the spot where a
+# PREPARE or a coordinator commit decision is enqueued but not yet
+# durable.  After restarting the crashed pieces and running the
+# presumed-abort resolution protocol, the invariants:
+#
+#   * every ACKED cross-shard commit is present on EVERY participant;
+#   * every cross-shard transaction that got a definite NO (abort
+#     raised, decision never durable) is present on NO participant;
+#   * every other cross-shard transaction — including those whose
+#     outcome the client never learned — is ALL-or-NOTHING: no
+#     transaction may land on a strict subset of its participants;
+#   * single-shard traffic keeps the per-key acked-state contract of
+#     the multisession mode;
+#   * no shard is left holding an in-doubt branch after resolution.
+
+
+@dataclass(frozen=True)
+class ClusterTortureSpec:
+    """Parameters of one cluster 2PC torture round."""
+
+    seed: int = 0
+    shards: int = 3
+    sessions: int = 4
+    requests_per_session: int = 20
+    key_space: int = 120
+    cross_shard_fraction: float = 0.45
+    """Fraction of requests that run a cross-shard transaction."""
+    crash_mode: str = "shard"
+    """``shard``: crash one shard (held in its flush window).
+    ``coordinator``: crash the coordinator (held in its flush window).
+    ``both``: crash the coordinator and one shard together."""
+    crash_after_requests: int = 16
+    """Total acked requests after which the crash trigger pulls."""
+
+
+@dataclass
+class ClusterTortureReport:
+    """Outcome of one cluster round (invariants already asserted)."""
+
+    seed: int
+    crash_mode: str
+    acked_singles: int = 0
+    acked_cross: int = 0
+    lost_cross: int = 0
+    unknown_cross: int = 0
+    aborted_cross: int = 0
+    indoubt_resolved: int = 0
+    parked_at_crash: int = 0
+
+
+class _ClusterWorker:
+    """One cluster session: single-shard ops plus cross-shard 2PC txns.
+
+    Cross-shard transactions write a fresh, worker-unique key pair (one
+    key per participant shard) so each transaction's fate is readable
+    from the final state: both keys present = committed, both absent =
+    aborted/lost, one of each = the atomicity violation this harness
+    exists to catch.
+    """
+
+    def __init__(self, worker_id: int, spec: ClusterTortureSpec, cluster) -> None:
+        self.worker_id = worker_id
+        self.spec = spec
+        self.cluster = cluster
+        self.rng = random.Random(spec.seed * 999983 + worker_id)
+        #: Acked single-shard state, per key (True=present, False=absent).
+        self.state: dict[int, bool] = {}
+        self.unknown: set[int] = set()
+        #: Cross-shard txns: (key_a, key_b) -> "acked"|"lost"|"unknown"|"aborted".
+        self.cross: dict[tuple[int, int], str] = {}
+        self.acked = 0
+        self._cross_seq = 0
+
+    def _cross_keys(self) -> tuple[int, int]:
+        """A fresh pair of keys owned by two *different* shards."""
+        from repro.cluster.routing import shard_for_key
+
+        spec = self.spec
+        base = spec.key_space + 100_000 * (self.worker_id + 1)
+        while True:
+            self._cross_seq += 1
+            a = base + 10 * self._cross_seq
+            shard_a = shard_for_key(a, spec.shards)
+            for b in range(a + 1, a + 10):
+                if shard_for_key(b, spec.shards) != shard_a:
+                    return a, b
+            # All nine neighbours hashed onto shard_a; try the next base.
+
+    def run(self) -> None:
+        from repro.common.errors import (
+            CommitNotDurableError,
+            DatabaseClosedError,
+            LogHaltedError,
+            ServerError,
+            ServerShutdownError,
+            ShardUnavailableError,
+            TwoPhaseAbortError,
+        )
+
+        spec = self.spec
+        try:
+            client = self.cluster.client()
+        except Exception:  # noqa: BLE001 - cluster already crashing
+            return
+        try:
+            for _ in range(spec.requests_per_session):
+                if self.rng.random() < spec.cross_shard_fraction:
+                    pair = self._cross_keys()
+                    self.cross[pair] = "unknown"
+                    try:
+                        client.begin()
+                        client.insert("t", {"id": pair[0], "val": f"x{self.worker_id}"})
+                        client.insert("t", {"id": pair[1], "val": f"x{self.worker_id}"})
+                        client.commit()
+                        self.cross[pair] = "acked"
+                        self.acked += 1
+                    except TwoPhaseAbortError:
+                        # Definite NO: no durable commit decision exists.
+                        self.cross[pair] = "aborted"
+                    except (CommitNotDurableError, LogHaltedError):
+                        self.cross[pair] = "lost"
+                    except (DatabaseClosedError, ServerShutdownError):
+                        return
+                    except Exception:  # noqa: BLE001 - in doubt
+                        # The attempt died before commit() closed the
+                        # logical transaction (e.g. an insert hit the
+                        # crashed shard): roll it back, or every later
+                        # "autocommit" op would silently join the zombie
+                        # transaction and be acked without commit.
+                        try:
+                            if client._txn_open:
+                                client.rollback()
+                        except Exception:  # noqa: BLE001
+                            pass
+                        if client.closed:
+                            return
+                else:
+                    key = (
+                        self.rng.randrange(spec.key_space // spec.sessions)
+                        * spec.sessions
+                        + self.worker_id
+                    )
+                    inserting = self.rng.random() < 0.7
+                    try:
+                        if inserting:
+                            client.insert("t", {"id": key, "val": f"s{self.worker_id}"})
+                            self.state[key] = True
+                        else:
+                            client.delete_by_key("t", "by_id", key)
+                            self.state[key] = False
+                        self.unknown.discard(key)
+                        self.acked += 1
+                    except UniqueKeyViolationError:
+                        self.state[key] = True
+                        self.unknown.discard(key)
+                        self.acked += 1
+                    except KeyNotFoundError:
+                        self.state[key] = False
+                        self.unknown.discard(key)
+                        self.acked += 1
+                    except (CommitNotDurableError, LogHaltedError):
+                        pass  # definite NO: acked state unchanged
+                    except (DatabaseClosedError, ServerShutdownError,
+                            ShardUnavailableError):
+                        return
+                    except (ServerError, DeadlockError, LockTimeoutError):
+                        self.unknown.add(key)
+                        if client.closed:
+                            return
+                    except Exception:  # noqa: BLE001 - post-crash wreckage
+                        self.unknown.add(key)
+                        return
+        finally:
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+def run_cluster_round(spec: ClusterTortureSpec) -> ClusterTortureReport:
+    """One cluster 2PC torture round."""
+    import threading
+    import time
+
+    from repro.cluster.cluster import Cluster
+    from repro.server.server import ServerConfig
+
+    config = DatabaseConfig(
+        group_commit=True,
+        group_commit_max_wait_seconds=0.001,
+        lock_timeout_seconds=1.0,
+        latch_timeout_seconds=5.0,
+    )
+    cluster = Cluster(
+        num_shards=spec.shards,
+        config=config,
+        server_config=ServerConfig(
+            workers=spec.sessions,
+            queue_depth=spec.sessions * 4,
+            request_timeout_seconds=10.0,
+            drain_timeout_seconds=10.0,
+        ),
+    )
+    cluster.create_table("t")
+    cluster.create_index("t", "by_id", column="id", unique=True)
+
+    rng = random.Random(spec.seed * 60013 + 7)
+    victim_shard = rng.randrange(spec.shards)
+
+    workers = [_ClusterWorker(i, spec, cluster) for i in range(spec.sessions)]
+    threads = [threading.Thread(target=worker.run) for worker in workers]
+    for thread in threads:
+        thread.start()
+
+    report = ClusterTortureReport(seed=spec.seed, crash_mode=spec.crash_mode)
+
+    def total_acked() -> int:
+        return sum(w.acked for w in workers)
+
+    # Aim the crash: let the workload warm up, then pin the victim
+    # log's flusher so commits/prepares/decisions park in the
+    # enqueue->flush window, and crash into it.
+    victim_logs = []
+    if spec.crash_mode in ("shard", "both"):
+        victim_logs.append(cluster.shards[victim_shard].db.log)
+    if spec.crash_mode in ("coordinator", "both"):
+        victim_logs.append(cluster.coordinator.log)
+    if spec.crash_mode not in ("shard", "coordinator", "both"):
+        raise ValueError(f"unknown crash_mode {spec.crash_mode!r}")
+
+    deadline = time.monotonic() + 5.0
+    while total_acked() < spec.crash_after_requests and time.monotonic() < deadline:
+        if not any(t.is_alive() for t in threads):
+            break
+        time.sleep(0.001)
+    for log in victim_logs:
+        log.hold_group_commit()
+    deadline = time.monotonic() + 1.0
+    while (
+        all(log.group_commit_parked == 0 for log in victim_logs)
+        and time.monotonic() < deadline
+    ):
+        if not any(t.is_alive() for t in threads):
+            break  # workload already finished; nothing to park
+        time.sleep(0.001)
+    report.parked_at_crash = sum(log.group_commit_parked for log in victim_logs)
+    if spec.crash_mode in ("coordinator", "both"):
+        cluster.crash_coordinator()
+    if spec.crash_mode in ("shard", "both"):
+        cluster.crash_shard(victim_shard)
+    for log in victim_logs:
+        log.release_group_commit()
+    _join_all(threads, spec.seed)
+
+    # Recover the crashed pieces, then run in-doubt resolution.
+    if spec.crash_mode in ("shard", "both"):
+        cluster.restart_shard(victim_shard)
+    if spec.crash_mode in ("coordinator", "both"):
+        cluster.restart_coordinator()
+    report.indoubt_resolved = cluster.resolve_indoubt()
+    _check(
+        all(not gids for gids in cluster.indoubt_gids().values()),
+        spec.seed,
+        f"{spec.crash_mode}: in-doubt branches remain after resolution: "
+        f"{cluster.indoubt_gids()}",
+    )
+    for shard in cluster.shards:
+        _check(
+            shard.db.verify_indexes() == {},
+            spec.seed,
+            f"{spec.crash_mode}: shard {shard.shard_id} index invalid",
+        )
+
+    # Read back the surviving state through a fresh cluster session.
+    reader = cluster.client()
+    survivors = {row["id"] for row in reader.scan("t", "by_id", limit=100_000)}
+    reader.close()
+
+    # Single-shard contract (same as the multisession mode).
+    for worker in workers:
+        for key, present in worker.state.items():
+            if key in worker.unknown:
+                continue
+            _check(
+                (key in survivors) == present,
+                spec.seed,
+                f"{spec.crash_mode}: single-shard key {key} acked "
+                f"{'present' if present else 'absent'} but "
+                f"{'absent' if present else 'present'} after recovery",
+            )
+
+    # Cross-shard contract: acked => everywhere; definite NO => nowhere;
+    # everything => all-or-nothing.
+    for worker in workers:
+        for (a, b), outcome in worker.cross.items():
+            in_a, in_b = a in survivors, b in survivors
+            _check(
+                in_a == in_b,
+                spec.seed,
+                f"{spec.crash_mode}: cross-shard txn ({a},{b}) "
+                f"[{outcome}] applied PARTIALLY: {a}={'present' if in_a else 'absent'}, "
+                f"{b}={'present' if in_b else 'absent'}",
+            )
+            if outcome == "acked":
+                _check(
+                    in_a and in_b,
+                    spec.seed,
+                    f"{spec.crash_mode}: ACKED cross-shard txn ({a},{b}) lost",
+                )
+                report.acked_cross += 1
+            elif outcome in ("lost", "aborted"):
+                _check(
+                    not in_a and not in_b,
+                    spec.seed,
+                    f"{spec.crash_mode}: {outcome} cross-shard txn "
+                    f"({a},{b}) survived",
+                )
+                report.lost_cross += outcome == "lost"
+                report.aborted_cross += outcome == "aborted"
+            else:
+                report.unknown_cross += 1
+    report.acked_singles = total_acked() - report.acked_cross
+
+    # Ghost check: every surviving key must be accounted for.
+    known: set[int] = set()
+    for worker in workers:
+        known |= set(worker.state) | worker.unknown
+        for a, b in worker.cross:
+            known |= {a, b}
+    ghosts = survivors - known
+    _check(not ghosts, spec.seed, f"{spec.crash_mode}: ghost keys {sorted(ghosts)}")
+
+    # Idempotency: crash + restart every piece again, re-resolve, and
+    # the state must not move.
+    for shard_id in range(spec.shards):
+        cluster.crash_shard(shard_id)
+        cluster.restart_shard(shard_id)
+    cluster.crash_coordinator()
+    cluster.restart_coordinator()
+    cluster.resolve_indoubt()
+    reader = cluster.client()
+    survivors_again = {row["id"] for row in reader.scan("t", "by_id", limit=100_000)}
+    reader.close()
+    _check(
+        survivors_again == survivors,
+        spec.seed,
+        f"{spec.crash_mode}: second cluster-wide restart diverged",
+    )
+    cluster.close()
+    return report
+
+
+def run_cluster(
+    seeds: range, base: ClusterTortureSpec | None = None
+) -> list[ClusterTortureReport]:
+    """One cluster round per seed, cycling the crash target over
+    {shard, coordinator, both} so a sweep covers every loss pattern."""
+    base = base or ClusterTortureSpec()
+    modes = ("shard", "coordinator", "both")
+    return [
+        run_cluster_round(
+            replace(base, seed=seed, crash_mode=modes[seed % len(modes)])
+        )
+        for seed in seeds
+    ]

@@ -65,6 +65,15 @@ class AnalysisResult:
             t for t in self.transactions.values() if t.status is TxnStatus.COMMITTED
         ]
 
+    @property
+    def prepared(self) -> list[Transaction]:
+        """In-doubt branches: PREPARE forced, no decision on this log.
+        Neither losers (undo must not touch them) nor winners — restart
+        reacquires their locks and parks them for the coordinator."""
+        return [
+            t for t in self.transactions.values() if t.status is TxnStatus.PREPARED
+        ]
+
 
 def run_analysis(ctx: "Database") -> AnalysisResult:
     result = AnalysisResult()
@@ -99,6 +108,10 @@ def run_analysis(ctx: "Database") -> AnalysisResult:
                 txn.undo_next_lsn = record.undo_next_lsn or NULL_LSN
             elif kind is RecordKind.COMMIT:
                 txn.status = TxnStatus.COMMITTED
+            elif kind is RecordKind.PREPARE:
+                txn.status = TxnStatus.PREPARED
+                txn.gid = record.payload.get("gid")
+                txn.prepare_lsn = record.lsn
             elif kind is RecordKind.ROLLBACK:
                 txn.status = TxnStatus.ROLLING_BACK
             elif kind is RecordKind.END:
@@ -131,6 +144,8 @@ def _merge_checkpoint(result: AnalysisResult, payload: dict) -> None:
         txn.status = TxnStatus(entry["status"])
         txn.last_lsn = entry["last_lsn"]
         txn.undo_next_lsn = entry["undo_next_lsn"]
+        txn.gid = entry.get("gid")
+        txn.prepare_lsn = entry.get("prepare_lsn", NULL_LSN)
         result.transactions[txn_id] = txn
     for entry in payload.get("dirty_pages", ()):
         page_id = entry["page_id"]

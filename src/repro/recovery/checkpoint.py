@@ -27,14 +27,18 @@ def take_checkpoint(ctx: "Database") -> int:
     for txn in ctx.txns.table_snapshot().values():
         if txn.status in (TxnStatus.ENDED,):
             continue
-        txn_table.append(
-            {
-                "txn_id": txn.txn_id,
-                "status": txn.status.value,
-                "last_lsn": txn.last_lsn,
-                "undo_next_lsn": txn.undo_next_lsn,
-            }
-        )
+        entry = {
+            "txn_id": txn.txn_id,
+            "status": txn.status.value,
+            "last_lsn": txn.last_lsn,
+            "undo_next_lsn": txn.undo_next_lsn,
+        }
+        if txn.is_prepared:
+            # Carry the in-doubt identity so an analysis pass whose scan
+            # starts after the PREPARE record still knows where it is.
+            entry["gid"] = txn.gid
+            entry["prepare_lsn"] = txn.prepare_lsn
+        txn_table.append(entry)
     dirty_pages = [
         {
             "page_id": page_id,

@@ -59,7 +59,7 @@ from repro.recovery.analysis import AnalysisResult, run_analysis
 from repro.recovery.checkpoint import take_checkpoint
 from repro.recovery.media import rebuild_page_from_log
 from repro.recovery.redo import RedoResult, apply_record
-from repro.recovery.restart import RestartReport
+from repro.recovery.restart import RestartReport, reacquire_prepared_locks
 from repro.recovery.undo import run_undo
 from repro.txn.transaction import TxnStatus
 from repro.wal.records import NULL_LSN, LogRecord, RecordKind
@@ -437,6 +437,11 @@ def run_instant_restart(
         ctx.txns.log_for(txn, end)
         txn.status = TxnStatus.ENDED
         ctx.txns.forget(txn.txn_id)
+
+    # In-doubt branches park with their locks re-held (eagerly, before
+    # the database opens — conflicting work must block from the first
+    # served request, not from when their pages happen to drain).
+    reacquire_prepared_locks(ctx, analysis.prepared)
 
     # Eager undo: loser rollback cost is O(in-flight work), and paying
     # it up front is what guarantees zero stale reads once open.  The

@@ -12,14 +12,41 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.locks.modes import LockDuration, LockMode
 from repro.recovery.analysis import AnalysisResult, run_analysis
 from repro.recovery.checkpoint import take_checkpoint
 from repro.recovery.media import ScrubResult, run_scrub
 from repro.recovery.redo import RedoResult, run_redo
 from repro.recovery.undo import UndoResult, run_undo
+from repro.wal.serialization import decode_lock_table
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db import Database
+    from repro.txn.transaction import Transaction
+
+
+def reacquire_prepared_locks(ctx: "Database", prepared: "list[Transaction]") -> int:
+    """Re-grant each in-doubt transaction the COMMIT-duration locks its
+    PREPARE record carried, so the branch keeps excluding conflicting
+    work until the coordinator's decision arrives.  Runs against the
+    fresh (quiescent) post-crash lock table, so conditional requests
+    always succeed — a failure means the table was not quiesced and is
+    a real bug, hence the assert-style check."""
+    granted = 0
+    for txn in prepared:
+        record = ctx.log.read(txn.prepare_lsn)
+        for name, mode in decode_lock_table(record.payload.get("locks")):
+            if ctx.locks.request(
+                txn.txn_id,
+                name,
+                LockMode(mode),
+                LockDuration.COMMIT,
+                conditional=True,
+            ):
+                granted += 1
+    ctx.stats.incr("recovery.prepared_transactions", len(prepared))
+    ctx.stats.incr("recovery.prepared_locks_reacquired", granted)
+    return granted
 
 
 @dataclass
@@ -71,6 +98,11 @@ def run_restart(ctx: "Database") -> RestartReport:
         ctx.txns.log_for(txn, end)
         txn.status = TxnStatus.ENDED
         ctx.txns.forget(txn.txn_id)
+
+    # In-doubt branches (PREPARE forced, decision pending) are neither
+    # losers nor winners: park them with their locks re-held until the
+    # coordinator resolves them.
+    reacquire_prepared_locks(ctx, analysis.prepared)
 
     undo = run_undo(ctx, analysis.losers)
 

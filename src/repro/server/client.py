@@ -111,6 +111,25 @@ class DatabaseClient:
         else:
             self.commit()
 
+    # -- two-phase commit (this session's shard as a participant) ----------
+
+    def prepare(self, gid: str) -> str:
+        """Phase 1: vote on the open transaction.  Returns ``"yes"``
+        (branch PREPARED, decision pending) or ``"read-only"``."""
+        result = self.request("prepare", gid=gid)
+        return result["vote"]  # type: ignore[index]
+
+    def decide(self, gid: str, decision: str) -> str:
+        """Phase 2: deliver ``"commit"``/``"abort"`` for ``gid``.
+        Idempotent; returns the applied outcome (``"forgotten"`` if the
+        branch was already resolved)."""
+        result = self.request("decide", gid=gid, decision=decision)
+        return result["outcome"]  # type: ignore[index]
+
+    def cluster_indoubt(self) -> list[dict]:
+        """The shard's prepared-but-undecided branches."""
+        return self.request("cluster_indoubt")  # type: ignore[return-value]
+
     # -- data ops ----------------------------------------------------------
 
     def insert(self, table: str, row: dict) -> dict:

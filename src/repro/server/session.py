@@ -77,6 +77,10 @@ class Session:
             "create_index": self._op_create_index,
             "stats": self._op_stats,
             "close": self._op_close,
+            # Two-phase commit (this server as a shard/participant).
+            "prepare": self._op_prepare,
+            "decide": self._op_decide,
+            "cluster_indoubt": self._op_cluster_indoubt,
         }
         #: Replication ops run directly on the connection thread instead
         #: of the bounded worker pool: a long-poll parked for the next
@@ -212,6 +216,44 @@ class Session:
         self.txn = None
         self.server.db.rollback(txn)
         return txn.txn_id
+
+    # -- two-phase commit ops ----------------------------------------------
+
+    def _op_prepare(self, request: dict) -> dict:
+        """Phase 1: vote on the session's open transaction.  On a
+        ``yes`` vote the branch leaves the session (PREPARED, locks
+        held) — the decision arrives later by gid, possibly on a
+        different connection after a shard restart.  On failure the
+        transaction stays attached so the client can roll it back."""
+        txn = self._require_txn()
+        vote = self.server.db.prepare(txn, str(request["gid"]))
+        self.txn = None
+        return {"vote": vote}
+
+    def _op_decide(self, request: dict) -> dict:
+        """Phase 2: apply the coordinator's decision to a prepared
+        branch, by gid.  Idempotent — an unknown gid means the branch
+        was already resolved (or, for abort, never prepared: presumed
+        abort needs nothing)."""
+        gid = str(request["gid"])
+        decision = request.get("decision")
+        if decision not in ("commit", "abort"):
+            raise ProtocolError(f"unknown decision {decision!r}")
+        db = self.server.db
+        if db.txns.find_prepared(gid) is None:
+            return {"outcome": "forgotten"}
+        if decision == "commit":
+            db.commit_prepared(gid)
+        else:
+            db.rollback_prepared(gid)
+        return {"outcome": decision}
+
+    def _op_cluster_indoubt(self, request: dict) -> list[dict]:
+        """The shard's prepared-but-undecided branches."""
+        return [
+            {"gid": t.gid, "txn_id": t.txn_id, "prepare_lsn": t.prepare_lsn}
+            for t in self.server.db.indoubt_transactions()
+        ]
 
     def _op_savepoint(self, request: dict) -> int:
         return self.server.db.savepoint(self._require_txn(), request["name"])

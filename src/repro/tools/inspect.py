@@ -176,6 +176,53 @@ def dump_archive(
     return "\n".join(lines)
 
 
+def dump_indoubt(db: "Database") -> str:
+    """A shard's prepared-but-undecided transactions, from its log.
+
+    Scans for PREPARE records not followed by a COMMIT/ROLLBACK/END of
+    the same transaction — the branches whose fate belongs to the 2PC
+    coordinator (commit iff the coordinator holds a durable commit
+    decision for the gid, abort otherwise: presumed abort).  Reads the
+    log directly so it works on a freshly restarted shard, a PITR
+    restore, or a live one; the live transaction table, when it
+    disagrees, is shown too (it shouldn't).
+    """
+    prepares: dict[int, object] = {}
+    for record in db.log.records():
+        if record.kind is RecordKind.PREPARE:
+            prepares[record.txn_id] = record
+        elif record.kind in (
+            RecordKind.COMMIT,
+            RecordKind.ROLLBACK,
+            RecordKind.END,
+        ):
+            prepares.pop(record.txn_id, None)
+    live = {txn.txn_id: txn for txn in db.indoubt_transactions()}
+    if not prepares and not live:
+        return "(no in-doubt transactions)"
+    lines = [f"{len(prepares)} in-doubt transaction(s):"]
+    for txn_id, record in sorted(prepares.items()):
+        payload = record.payload or {}
+        locks = payload.get("locks") or []
+        lines.append(
+            f"  gid={payload.get('gid')!r} txn={txn_id} "
+            f"prepare_lsn={record.lsn} locks={len(locks)}"
+        )
+        for name, mode in locks:
+            lines.append(f"    {mode:>2} {tuple(name)}")
+    log_only = set(prepares) - set(live)
+    table_only = set(live) - set(prepares)
+    if table_only:
+        lines.append(
+            f"  WARNING: in transaction table but not the log: {sorted(table_only)}"
+        )
+    if log_only and live:
+        lines.append(
+            f"  WARNING: in the log but not the transaction table: {sorted(log_only)}"
+        )
+    return "\n".join(lines)
+
+
 _STAT_GROUPS = (
     ("locks", "lock."),
     ("latches", "latch."),

@@ -21,10 +21,22 @@ from typing import TYPE_CHECKING
 
 from repro.common.errors import LogHaltedError, TransactionNotActiveError
 from repro.common.stats import StatsRegistry
+from repro.locks.modes import LockDuration
 from repro.txn.rm import ResourceManagerRegistry
 from repro.txn.transaction import Transaction, TxnStatus
 from repro.wal.log import LogManager
-from repro.wal.records import NULL_LSN, LogRecord, RecordKind, dummy_clr
+from repro.wal.records import (
+    NULL_LSN,
+    LogRecord,
+    RecordKind,
+    dummy_clr,
+    prepare_record,
+)
+from repro.wal.serialization import encode_lock_table
+
+#: Phase-1 vote values (two-phase commit).
+VOTE_YES = "yes"
+VOTE_READ_ONLY = "read-only"
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db import Database
@@ -72,6 +84,27 @@ class TransactionManager:
     def active_transactions(self) -> list[Transaction]:
         with self._mutex:
             return [t for t in self._table.values() if t.is_active]
+
+    def prepared_transactions(self) -> list[Transaction]:
+        """The in-doubt branches: PREPAREd, coordinator decision pending."""
+        with self._mutex:
+            return [t for t in self._table.values() if t.is_prepared]
+
+    def undecided_transactions(self) -> list[Transaction]:
+        """Transactions whose log chain must stay readable: the active
+        ones (total rollback walks to ``first_lsn``) plus the prepared
+        ones (a restart must re-read their PREPARE records)."""
+        with self._mutex:
+            return [
+                t for t in self._table.values() if t.is_active or t.is_prepared
+            ]
+
+    def find_prepared(self, gid: str) -> Transaction | None:
+        with self._mutex:
+            for txn in self._table.values():
+                if txn.is_prepared and txn.gid == gid:
+                    return txn
+        return None
 
     def table_snapshot(self) -> dict[int, Transaction]:
         with self._mutex:
@@ -149,6 +182,95 @@ class TransactionManager:
         gate = self.commit_gate
         if gate is not None and wrote_data:
             gate(commit_lsn)
+
+    # -- two-phase commit (presumed abort) --------------------------------------
+
+    def prepare(self, txn: Transaction, gid: str) -> str:
+        """Phase 1: vote on global transaction ``gid``.
+
+        A read-only branch (no log records) votes ``read-only`` and
+        vanishes immediately — presumed abort needs nothing from it and
+        the coordinator drops it from phase 2.  Otherwise the branch
+        forces a PREPARE record carrying its COMMIT-duration lock set
+        and parks as PREPARED: locks held, neither loser nor winner,
+        until :meth:`commit_prepared` or :meth:`rollback_prepared`.
+        """
+        if not txn.is_active:
+            raise TransactionNotActiveError(f"cannot prepare {txn!r}")
+        if txn.first_lsn == NULL_LSN:
+            released = self._locks.release_all(txn.txn_id)
+            self._stats.incr("txn.locks_released_at_commit", released)
+            txn.status = TxnStatus.ENDED
+            self.forget(txn.txn_id)
+            self._stats.incr("txn.votes_read_only")
+            return VOTE_READ_ONLY
+        locks = encode_lock_table(
+            [
+                (name, mode.value)
+                for name, mode, duration in self._locks.locks_of(txn.txn_id)
+                if duration is LockDuration.COMMIT
+            ]
+        )
+        record = prepare_record(txn.txn_id, gid, locks)
+        prepare_lsn = self.log_for(txn, record)
+        # Forced like a commit: the vote must survive a crash, else the
+        # coordinator could commit a global transaction whose branch is
+        # rolled back as a restart loser.
+        self._log.force_for_commit(txn.last_lsn)
+        txn.status = TxnStatus.PREPARED
+        txn.gid = gid
+        txn.prepare_lsn = prepare_lsn
+        self._stats.incr("txn.prepared")
+        return VOTE_YES
+
+    def commit_prepared(self, txn: Transaction) -> None:
+        """Phase 2, decision = commit, for a PREPARED branch."""
+        if not txn.is_prepared:
+            raise TransactionNotActiveError(f"cannot commit-prepared {txn!r}")
+        commit = LogRecord(
+            kind=RecordKind.COMMIT,
+            txn_id=txn.txn_id,
+            payload={"gid": txn.gid},
+            undoable=False,
+        )
+        self.log_for(txn, commit)
+        self._log.force_for_commit(txn.last_lsn)
+        txn.status = TxnStatus.COMMITTED
+        released = self._locks.release_all(txn.txn_id)
+        self._stats.incr("txn.locks_released_at_commit", released)
+        end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id, undoable=False)
+        try:
+            self.log_for(txn, end)
+        except LogHaltedError:
+            pass  # commit record durable: restart ENDs it (same as commit)
+        txn.status = TxnStatus.ENDED
+        self.forget(txn.txn_id)
+        self._stats.incr("txn.committed")
+        self._stats.incr("txn.prepared_committed")
+
+    def rollback_prepared(self, ctx: "Database", txn: Transaction) -> None:
+        """Phase 2, decision = abort, for a PREPARED branch."""
+        if not txn.is_prepared:
+            raise TransactionNotActiveError(f"cannot rollback-prepared {txn!r}")
+        rollback = LogRecord(
+            kind=RecordKind.ROLLBACK, txn_id=txn.txn_id, undoable=False
+        )
+        self.log_for(txn, rollback)
+        txn.status = TxnStatus.ROLLING_BACK
+        txn.in_rollback = True
+        try:
+            self.undo_to(ctx, txn, NULL_LSN)
+        finally:
+            txn.in_rollback = False
+        txn.status = TxnStatus.ABORTED
+        released = self._locks.release_all(txn.txn_id)
+        self._stats.incr("txn.locks_released_at_rollback", released)
+        end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id, undoable=False)
+        self.log_for(txn, end)
+        txn.status = TxnStatus.ENDED
+        self.forget(txn.txn_id)
+        self._stats.incr("txn.rolled_back")
+        self._stats.incr("txn.prepared_aborted")
 
     # -- rollback --------------------------------------------------------------------
 

@@ -21,6 +21,10 @@ class TxnStatus(enum.Enum):
     ROLLING_BACK = "rolling_back"
     ENDED = "ended"
     ABORTED = "aborted"  # rollback finished
+    #: Two-phase commit: PREPARE forced, coordinator decision pending.
+    #: Neither a loser nor a winner at restart — held in-doubt with its
+    #: locks until the coordinator resolves it (presumed abort).
+    PREPARED = "prepared"
 
 
 @dataclass
@@ -37,10 +41,18 @@ class Transaction:
     savepoints: dict[str, int] = field(default_factory=dict)
     nta_stack: list[int] = field(default_factory=list)
     in_rollback: bool = False
+    #: Global transaction id when this branch was PREPAREd (2PC).
+    gid: str | None = None
+    #: LSN of this branch's PREPARE record.
+    prepare_lsn: int = NULL_LSN
 
     @property
     def is_active(self) -> bool:
         return self.status is TxnStatus.ACTIVE
+
+    @property
+    def is_prepared(self) -> bool:
+        return self.status is TxnStatus.PREPARED
 
     def note_logged(self, lsn: int) -> None:
         """Record that this transaction just wrote the record at ``lsn``."""

@@ -49,14 +49,27 @@ class _CommitWaiter:
     """One committer parked for a group-commit flush.
 
     ``outcome`` is set exactly once, by whoever resolves the waiter:
-    the flusher (after its batched force) or :meth:`LogManager.crash`.
+    the flusher (after its batched force), :meth:`LogManager.crash`, or
+    :meth:`LogManager.stop_group_commit`.  Each waiter carries its own
+    event so resolving a batch wakes exactly the committers in it —
+    broadcasting on a shared condition made every enqueue wake every
+    parked committer (a thundering herd that cost ~10% throughput at
+    16 sessions).
     """
 
-    __slots__ = ("target", "outcome")
+    __slots__ = ("target", "outcome", "event")
 
     def __init__(self, target: int) -> None:
         self.target = target  # byte offset the flush must reach
         self.outcome: str | None = None  # "durable" | "lost"
+        self.event = threading.Event()
+
+    def settle(self, outcome: str) -> None:
+        """Resolve the waiter (idempotent-safe under ``_gc_cond``) and
+        wake its committer."""
+        if self.outcome is None:
+            self.outcome = outcome
+        self.event.set()
 
 
 class LogManager:
@@ -287,9 +300,9 @@ class LogManager:
         with self._gc_cond:
             durable = self.flushed_lsn
             for waiter in leftovers:
-                if waiter.outcome is None:
-                    waiter.outcome = "durable" if waiter.target <= durable else "lost"
-            self._gc_cond.notify_all()
+                waiter.settle(
+                    "durable" if waiter.target <= durable else "lost"
+                )
 
     @property
     def group_commit_enabled(self) -> bool:
@@ -347,9 +360,17 @@ class LogManager:
                 return
             waiter = _CommitWaiter(target)
             self._gc_waiters.append(waiter)
-            self._gc_cond.notify_all()
-            while waiter.outcome is None:
-                self._gc_cond.wait()
+            # Wake the flusher (alone, and only when it matters): the
+            # first waiter opens a coalescing window, a full batch
+            # closes it early.  Stragglers in between just join the
+            # batch — the flusher's deadline collects them without a
+            # wakeup, and parked committers are never disturbed.
+            pending = len(self._gc_waiters)
+            if pending == 1 or pending >= self._gc_max_batch:
+                self._gc_cond.notify()
+        # Park outside the condition: the resolver signals this
+        # waiter's own event, nobody else's.
+        waiter.event.wait()
         if waiter.outcome == "lost":
             raise CommitNotDurableError(
                 f"commit at LSN {lsn} lost: crash before the batched flush"
@@ -389,14 +410,12 @@ class LogManager:
                 durable = self.flushed_lsn
                 resolved = 0
                 for waiter in batch:
-                    if waiter.outcome is None:  # crash may have resolved it
-                        waiter.outcome = (
-                            "durable" if waiter.target <= durable else "lost"
-                        )
+                    # A crash may have settled it first; settle() keeps
+                    # the first outcome and (re-)sets the event.
+                    waiter.settle("durable" if waiter.target <= durable else "lost")
                     if waiter.outcome == "durable":
                         resolved += 1
                 self._gc_inflight = []
-                self._gc_cond.notify_all()
             self._stats.incr("log.group_commit_batches")
             if resolved > 1:
                 self._stats.incr("log.group_commit_flushes_saved", resolved - 1)
@@ -411,12 +430,11 @@ class LogManager:
             self._gc_inflight = []
             lost = 0
             for waiter in pending:
-                if waiter.outcome is None:
-                    if waiter.target <= durable:
-                        waiter.outcome = "durable"
-                    else:
-                        waiter.outcome = "lost"
-                        lost += 1
+                if waiter.outcome is None and waiter.target > durable:
+                    lost += 1
+                waiter.settle(
+                    "durable" if waiter.target <= durable else "lost"
+                )
             self._gc_cond.notify_all()
         if lost:
             self._stats.incr("log.group_commit_lost_in_crash", lost)

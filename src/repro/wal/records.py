@@ -18,8 +18,16 @@ Record categories (``kind``):
 - ``DUMMY_CLR`` — the nested-top-action terminator (§1.2, Figure 9/10).
   Pure chain surgery: no page, no redo work.
 - ``COMMIT`` / ``ROLLBACK`` / ``END`` — transaction state transitions.
+- ``PREPARE`` — two-phase-commit phase-1 vote (presumed abort): the
+  transaction's COMMIT-duration locks ride in the payload so a restarted
+  shard can reacquire them and hold the transaction in-doubt until the
+  coordinator's decision arrives.
 - ``CKPT_BEGIN`` / ``CKPT_END`` — fuzzy checkpoint pair; the end record
   carries copies of the transaction table and dirty page table.
+- ``COORD_COMMIT`` / ``COORD_ABORT`` / ``COORD_END`` — coordinator-log
+  records (never appear in a shard's log): the forced commit decision
+  for a global transaction, the advisory (unforced) abort decision, and
+  the lazy completion marker once every participant has acknowledged.
 """
 
 from __future__ import annotations
@@ -50,8 +58,13 @@ class RecordKind(enum.Enum):
     COMMIT = "commit"
     ROLLBACK = "rollback"
     END = "end"
+    PREPARE = "prepare"
     CKPT_BEGIN = "ckpt_begin"
     CKPT_END = "ckpt_end"
+    #: Coordinator-log records (two-phase commit, presumed abort).
+    COORD_COMMIT = "coord_commit"
+    COORD_ABORT = "coord_abort"
+    COORD_END = "coord_end"
 
 
 #: Resource manager tags.
@@ -229,6 +242,26 @@ def clr_record(
         page_id=page_id,
         payload=payload,
         undo_next_lsn=undo_next_lsn,
+        undoable=False,
+    )
+
+
+def prepare_record(
+    txn_id: int, gid: str, locks: list[Any]
+) -> LogRecord:
+    """Build the phase-1 vote record of two-phase commit.
+
+    ``gid`` names the global transaction; ``locks`` is the transaction's
+    COMMIT-duration lock set as encoded by
+    :func:`~repro.wal.serialization.encode_lock_table` — enough for a
+    restarted shard to reacquire them and hold the transaction in-doubt.
+    """
+    return LogRecord(
+        kind=RecordKind.PREPARE,
+        txn_id=txn_id,
+        rm=RM_TXN,
+        op="prepare",
+        payload={"gid": gid, "locks": locks},
         undoable=False,
     )
 

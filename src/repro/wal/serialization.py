@@ -230,6 +230,25 @@ def unframe_record(raw: bytes, offset: int = 0) -> tuple[bytes, int]:
     return body, end
 
 
+# -- lock-table payloads (two-phase commit) ----------------------------------
+#
+# A PREPARE record carries the transaction's COMMIT-duration lock set so
+# a restarted shard can reacquire it before the database reopens.  Lock
+# names are flat tuples of codec-native leaves (str/int/bytes/RID); the
+# codec decodes tuples as lists, so the decode side restores the tuple
+# shape the lock manager hashes on.
+
+
+def encode_lock_table(locks: list[tuple[Any, str]]) -> list[list[Any]]:
+    """``[(lock_name_tuple, mode_value), ...]`` → payload-safe lists."""
+    return [[list(name), mode] for name, mode in locks]
+
+
+def decode_lock_table(payload: Any) -> list[tuple[tuple, str]]:
+    """Inverse of :func:`encode_lock_table` after a codec round-trip."""
+    return [(tuple(name), mode) for name, mode in payload or []]
+
+
 def decode_dict_prefix(body: bytes, stop_key: str) -> dict:
     """Decode a serialized dict's leading entries, stopping *before*
     the value of ``stop_key``.
