@@ -87,9 +87,11 @@ def index_fetch(
 
     Pass a :class:`Cursor` to open a range scan; its position is set to
     the returned key so :func:`index_fetch_next` can continue from it.
-    ``isolation`` is "rr" (repeatable read, default) or "cs" (cursor
+    ``isolation`` is "rr" (repeatable read, default), "cs" (cursor
     stability: the current-key lock is manual-duration and the caller
-    releases it via ``result.lock_name`` when moving off the record).
+    releases it via ``result.lock_name`` when moving off the record),
+    or "snapshot" (MVCC read: latches only, **no lock requests** —
+    visibility is the caller's job, via the heap version stamps).
     """
     ctx = tree.ctx
     ctx.stats.incr("btree.op.fetch")
@@ -102,8 +104,11 @@ def index_fetch(
         try:
             candidate, cand_page = tree.find_next_key(leaf, pos)
             held = [leaf, cand_page]
-            spec = tree.protocol.fetch_lock(tree, candidate, isolation)
-            request_locks(tree, txn, [spec], held)
+            lock_name = None
+            if isolation != "snapshot":
+                spec = tree.protocol.fetch_lock(tree, candidate, isolation)
+                request_locks(tree, txn, [spec], held)
+                lock_name = spec.name
         except RestartOperation:
             continue
         if candidate is not None and cursor is not None:
@@ -115,9 +120,9 @@ def index_fetch(
         if candidate is None:
             if cursor is not None:
                 cursor.at_eof = True
-            return FetchResult(found=False, key=None, eof=True, lock_name=spec.name)
+            return FetchResult(found=False, key=None, eof=True, lock_name=lock_name)
         found = candidate.value == value if comparison == "=" else True
-        return FetchResult(found=found, key=candidate, eof=False, lock_name=spec.name)
+        return FetchResult(found=found, key=candidate, eof=False, lock_name=lock_name)
 
 
 def index_fetch_next(
@@ -151,14 +156,17 @@ def index_fetch_next(
     while True:
         try:
             candidate, cand_page, held = _locate_successor(tree, txn, cursor)
-            spec = tree.protocol.fetch_lock(tree, candidate, isolation)
-            request_locks(tree, txn, [spec], held)
+            lock_name = None
+            if isolation != "snapshot":
+                spec = tree.protocol.fetch_lock(tree, candidate, isolation)
+                request_locks(tree, txn, [spec], held)
+                lock_name = spec.name
         except RestartOperation:
             continue
         if candidate is None:
             release_pages(tree, held)
             cursor.at_eof = True
-            return FetchResult(found=False, key=None, eof=True, lock_name=spec.name)
+            return FetchResult(found=False, key=None, eof=True, lock_name=lock_name)
         assert cand_page is not None
         cand_pos, exact = cand_page.find_key(candidate)
         assert exact
@@ -168,9 +176,9 @@ def index_fetch_next(
             candidate.value, stop_value, stop_comparison
         ):
             return FetchResult(
-                found=False, key=candidate, eof=False, lock_name=spec.name
+                found=False, key=candidate, eof=False, lock_name=lock_name
             )
-        return FetchResult(found=True, key=candidate, eof=False, lock_name=spec.name)
+        return FetchResult(found=True, key=candidate, eof=False, lock_name=lock_name)
 
 
 def _locate_successor(

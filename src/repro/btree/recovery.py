@@ -64,7 +64,14 @@ class BTreeResourceManager:
         elif op in ("insert_key", "insert_key_c"):
             page.insert_key(payload["key"])
         elif op in ("delete_key", "delete_key_c"):
-            page.remove_key(payload["key"])
+            key: IndexKey = payload["key"]
+            # Register the dead key *before* removal so no replay
+            # prefix has it absent from both the tree and the side
+            # store (the heap delete's redo lands later in the log).
+            ctx.mvcc_note_dead_key(
+                payload["index_id"], key.value, key.rid, record.txn_id
+            )
+            page.remove_key(key)
             if payload.get("set_delete_bit"):
                 page.delete_bit = True
         elif op == "leaf_shrink":

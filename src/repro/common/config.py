@@ -65,6 +65,12 @@ class DatabaseConfig:
     """Flush no later than this after the first commit of a batch parks
     (bounds added commit latency)."""
 
+    mvcc_enabled: bool = True
+    """Maintain version stamps and serve lock-free snapshot reads
+    (:mod:`repro.mvcc`).  Off, ``begin_snapshot`` raises and the
+    write path skips the (cheap) dead-key bookkeeping — the ablation
+    baseline for the E19 writer-overhead comparison."""
+
     ondemand_recovery_timeout_seconds: float = 30.0
     """Instant restart: how long a page fix waits for another thread's
     in-flight on-demand recovery of the same page before giving up with

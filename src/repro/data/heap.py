@@ -9,10 +9,16 @@ Deletes are **ghosting** deletes: the record is marked invisible but
 its slot and bytes stay put.  This guarantees that the undo of a
 delete is always page-oriented (unghost in place) and that slots are
 never reused while a delete is uncommitted — the heap-side analogue of
-the care ARIES/IM takes with index-space reuse (Figure 11).  Space is
-reclaimed lazily when a page needs room and the ghost's deleter is no
-longer active; this reproduction never purges, which only wastes
-simulated space.
+the care ARIES/IM takes with index-space reuse (Figure 11).
+
+Each slot also carries ``[xmin, xmax]`` version stamps — the inserting
+and deleting transaction ids — maintained by the same logged insert
+and delete operations, so REDO replay reconstructs them for free and
+UNDO reverts them (unghost clears xmax, slot removal erases xmin).
+Snapshot readers (:mod:`repro.mvcc`) resolve visibility against the
+stamps with latches only; the ghost slot *is* the old version.  Ghosts
+are reclaimed only by the MVCC garbage collector's redo-only ``purge``
+records, once no snapshot can need them.
 """
 
 from __future__ import annotations
@@ -34,18 +40,24 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.db import Database
     from repro.txn.transaction import Transaction
 
-_SLOT_OVERHEAD = 16
+#: Per-slot accounting: entry framing plus the two 9-byte (tag + i64)
+#: ``[xmin, xmax]`` version stamps every occupied slot serializes.
+_SLOT_OVERHEAD = 34
 
 
 class HeapPage(Page):
-    """Slotted data page.  Slots hold ``(bytes, visible)`` or None."""
+    """Slotted data page.
+
+    Slots hold ``(bytes, visible, xmin, xmax)`` or None.  ``xmin`` is
+    the inserter's transaction id, ``xmax`` the deleter's (0 = none;
+    pre-MVCC/bootstrap data is stamped ``[0, 0]``)."""
 
     KIND = "heap"
 
     def __init__(self, page_id: int, table_id: int) -> None:
         super().__init__(page_id)
         self.table_id = table_id
-        self.slots: list[tuple[bytes, bool] | None] = []
+        self.slots: list[tuple[bytes, bool, int, int] | None] = []
 
     # -- serialization ------------------------------------------------------
 
@@ -55,8 +67,8 @@ class HeapPage(Page):
             if slot is None:
                 encoded.append(None)
             else:
-                data, visible = slot
-                encoded.append([data, visible])
+                data, visible, xmin, xmax = slot
+                encoded.append([data, visible, xmin, xmax])
         return {"table_id": self.table_id, "slots": encoded}
 
     @classmethod
@@ -66,7 +78,10 @@ class HeapPage(Page):
             if slot is None:
                 page.slots.append(None)
             else:
-                page.slots.append((slot[0], slot[1]))
+                # Pre-MVCC pages encoded [data, visible]; stamp [0, 0].
+                xmin = slot[2] if len(slot) > 2 else 0
+                xmax = slot[3] if len(slot) > 3 else 0
+                page.slots.append((slot[0], slot[1], xmin, xmax))
         return page
 
     def used_size(self) -> int:
@@ -82,27 +97,46 @@ class HeapPage(Page):
     def has_room_for(self, data: bytes, page_size: int) -> bool:
         return self.used_size() + _SLOT_OVERHEAD + len(data) <= page_size
 
-    def append_record(self, data: bytes) -> int:
-        self.slots.append((data, True))
+    def append_record(self, data: bytes, xmin: int = 0) -> int:
+        self.slots.append((data, True, xmin, 0))
         return len(self.slots) - 1
 
-    def place_record(self, slot: int, data: bytes, visible: bool = True) -> None:
-        """Install a record at an exact slot (redo path)."""
+    def place_record(
+        self,
+        slot: int,
+        data: bytes,
+        visible: bool = True,
+        xmin: int | None = None,
+        xmax: int | None = None,
+    ) -> None:
+        """Install a record at an exact slot (redo path).  Stamps left
+        as None keep the slot's current value (0 if the slot was
+        empty)."""
         while len(self.slots) <= slot:
             self.slots.append(None)
-        self.slots[slot] = (data, visible)
+        current = self.slots[slot]
+        if xmin is None:
+            xmin = current[2] if current is not None else 0
+        if xmax is None:
+            xmax = current[3] if current is not None else 0
+        self.slots[slot] = (data, visible, xmin, xmax)
 
     def record(self, slot: int) -> bytes:
         entry = self._entry(slot)
-        data, visible = entry
-        if not visible:
+        if not entry[1]:
             raise KeyNotFoundError(f"record at slot {slot} is deleted")
-        return data
+        return entry[0]
 
-    def set_ghost(self, slot: int, ghost: bool) -> bytes:
+    def set_ghost(self, slot: int, ghost: bool, xmax: int | None = None) -> bytes:
+        """Ghost (stamping the deleter into xmax) or unghost (clearing
+        xmax — the delete was undone)."""
         entry = self._entry(slot)
-        data, _ = entry
-        self.slots[slot] = (data, not ghost)
+        data, _, xmin, old_xmax = entry
+        if ghost:
+            new_xmax = old_xmax if xmax is None else xmax
+        else:
+            new_xmax = 0
+        self.slots[slot] = (data, not ghost, xmin, new_xmax)
         return data
 
     def remove_record(self, slot: int) -> bytes:
@@ -114,7 +148,13 @@ class HeapPage(Page):
         entry = self.slots[slot] if slot < len(self.slots) else None
         return entry is not None and entry[1]
 
-    def _entry(self, slot: int) -> tuple[bytes, bool]:
+    def version(self, slot: int) -> tuple[bytes, bool, int, int] | None:
+        """The slot's full entry — data, visibility, stamps — or None.
+        Snapshot readers judge visibility from the stamps; ghosts are
+        returned (they are old versions), missing/purged slots are not."""
+        return self.slots[slot] if 0 <= slot < len(self.slots) else None
+
+    def _entry(self, slot: int) -> tuple[bytes, bool, int, int]:
         if slot >= len(self.slots) or self.slots[slot] is None:
             raise KeyNotFoundError(f"no record at slot {slot} of page {self.page_id}")
         return self.slots[slot]  # type: ignore[return-value]
@@ -166,7 +206,7 @@ class HeapFile:
             latch.release()
             self._ctx.buffer.unfix(page.page_id)
         try:
-            slot = page.append_record(data)
+            slot = page.append_record(data, xmin=txn.txn_id)
             rid = RID(page.page_id, slot)
             self._lock(txn, rid, LockMode.X)
             record = update_record(
@@ -192,7 +232,7 @@ class HeapFile:
         latch = self._ctx.latches.page_latch(page.page_id)
         latch.acquire("X")
         try:
-            data = page.set_ghost(rid.slot, ghost=True)
+            data = page.set_ghost(rid.slot, ghost=True, xmax=txn.txn_id)
             record = update_record(
                 txn.txn_id,
                 RM_HEAP,
@@ -227,6 +267,22 @@ class HeapFile:
         finally:
             latch.release()
             self._ctx.buffer.unfix(page.page_id)
+
+    def version(self, rid: RID) -> tuple[bytes, bool, int, int] | None:
+        """Latch-only read of a slot's data and ``[xmin, xmax]`` stamps
+        (the snapshot read path: **no locks**).  Returns None for a
+        missing or purged slot."""
+        try:
+            page = self._fix_heap_page(rid.page_id)
+        except StorageError:
+            return None
+        latch = self._ctx.latches.page_latch(rid.page_id)
+        latch.acquire("S")
+        try:
+            return page.version(rid.slot)
+        finally:
+            latch.release()
+            self._ctx.buffer.unfix(rid.page_id)
 
     def scan_rids(self) -> list[RID]:
         """All visible RIDs (no locking; used by utilities and tests)."""
@@ -290,14 +346,38 @@ class HeapResourceManager:
             page.slots = []
             return
         rid: RID = record.payload["rid"]
-        if record.op in ("insert", "unghost_c"):
-            page.place_record(rid.slot, record.payload["data"], visible=True)
+        if record.op == "insert":
+            page.place_record(
+                rid.slot,
+                record.payload["data"],
+                visible=True,
+                xmin=record.txn_id,
+                xmax=0,
+            )
+        elif record.op == "unghost_c":
+            # Undo of a delete: the deleter's stamp comes off (xmin is
+            # preserved — the original inserter's commit still governs).
+            page.place_record(
+                rid.slot, record.payload["data"], visible=True, xmax=0
+            )
         elif record.op == "delete":
-            page.place_record(rid.slot, record.payload["data"], visible=False)
-        elif record.op == "remove_c":
+            page.place_record(
+                rid.slot,
+                record.payload["data"],
+                visible=False,
+                xmax=record.txn_id,
+            )
+            # Replayed deletes (restart redo, standby replay, PITR)
+            # register the dead keys, same as the forward path.
+            ctx.mvcc_note_dead_raw(
+                page.table_id, rid, record.payload["data"], record.txn_id
+            )
+        elif record.op in ("remove_c", "purge"):
             while len(page.slots) <= rid.slot:
                 page.slots.append(None)
             page.slots[rid.slot] = None
+            if record.op == "purge":
+                ctx.mvcc_forget_raw(page.table_id, rid, record.payload["data"])
         else:
             raise StorageError(f"unknown heap op {record.op!r}")
 

@@ -49,6 +49,9 @@ from repro.data.heap import HeapPage, HeapResourceManager
 from repro.data.table import Row, Table
 from repro.locks.manager import LockManager
 from repro.locks.modes import data_page_lock_name, record_lock_name
+from repro.mvcc.gc import GcReport, run_mvcc_gc
+from repro.mvcc.snapshot import SnapshotManager
+from repro.mvcc.store import VersionStore
 from repro.recovery.checkpoint import take_checkpoint
 from repro.recovery.restart import RestartReport, run_restart
 from repro.storage.buffer import BufferPool
@@ -103,6 +106,13 @@ class Database:
         self.rm_registry.register(RM_HEAP, HeapResourceManager())
         self.rm_registry.register(RM_BTREE, BTreeResourceManager())
         self.txns = TransactionManager(self.log, self.locks, self.rm_registry, self.stats)
+        #: Snapshot-read machinery (None when config.mvcc_enabled=False).
+        self.mvcc: SnapshotManager | None = (
+            SnapshotManager() if config.mvcc_enabled else None
+        )
+        #: Dead-key side store (always constructed; no-op hooks without mvcc).
+        self.versions = VersionStore()
+        self._wire_mvcc()
         self.tables: dict[str, Table] = {}
         self._indexes_by_id: dict[int, BTree] = {}
         self._table_ids = itertools.count(1)
@@ -288,11 +298,122 @@ class Database:
                 self.commit(txn)
 
     def commit(self, txn: Transaction) -> None:
+        if txn.snapshot is not None:
+            self.end_snapshot(txn)
+            return
         self.txns.commit(txn)
         self._maybe_checkpoint()
 
     def rollback(self, txn: Transaction) -> None:
+        if txn.snapshot is not None:
+            self.end_snapshot(txn)
+            return
         self.txns.rollback(self, txn)
+
+    # -- snapshot reads (lock-free, repro.mvcc) -----------------------------
+
+    def begin_snapshot(self) -> Transaction:
+        """Open a read-only snapshot transaction: it sees every commit
+        with a timestamp at or below now, acquires **zero** record and
+        next-key locks (latches only), and may not write."""
+        if self._closed:
+            raise DatabaseClosedError("database is closed")
+        if self.mvcc is None:
+            raise ConfigError(
+                "snapshot reads need config.mvcc_enabled=True"
+            )
+        txn = self.txns.begin()
+        txn.snapshot = self.mvcc.begin_snapshot()
+        self.stats.incr("mvcc.snapshots_begun")
+        return txn
+
+    def end_snapshot(self, txn: Transaction) -> None:
+        """Retire a snapshot transaction (advances the GC horizon).
+        Idempotent; ``commit``/``rollback`` route here."""
+        snap = txn.snapshot
+        if snap is not None and self.mvcc is not None:
+            self.mvcc.release(snap)
+        from repro.txn.transaction import TxnStatus
+
+        txn.status = TxnStatus.ENDED
+        self.txns.forget(txn.txn_id)
+
+    @contextmanager
+    def snapshot(self) -> Iterator[Transaction]:
+        """Scope a snapshot read::
+
+            with db.snapshot() as txn:
+                rows = list(db.scan(txn, "t", "by_id"))
+        """
+        txn = self.begin_snapshot()
+        try:
+            yield txn
+        finally:
+            self.end_snapshot(txn)
+
+    def mvcc_gc(self, purge: bool = True) -> GcReport:
+        """One pass of version GC, bounded by the oldest active
+        snapshot.  ``purge=True`` also frees sweepable ghost slots with
+        redo-only log records (recovery- and replication-safe)."""
+        return run_mvcc_gc(self, purge=purge)
+
+    # internal hooks (write path + redo replay) ----------------------------
+
+    def _wire_mvcc(self) -> None:
+        if self.mvcc is not None:
+            self.txns.on_commit = self.mvcc.note_commit
+
+    def mvcc_note_dead(self, table: Table, rid: RID, row: Row, xmax: int) -> None:
+        """Forward delete path: register the row's index keys as dead."""
+        if self.mvcc is None:
+            return
+        self.versions.note_dead(table, rid, row, xmax)
+
+    def mvcc_note_dead_raw(
+        self, table_id: int, rid: RID, data: bytes, xmax: int
+    ) -> None:
+        """Redo path (restart/standby/PITR): same, from raw row bytes."""
+        if self.mvcc is None:
+            return
+        table = self._table_by_id(table_id)
+        if table is None:
+            return
+        from repro.data.table import decode_row
+
+        self.versions.note_dead(table, rid, decode_row(data), xmax)
+
+    def mvcc_note_dead_key(
+        self, index_id: int, value: bytes, rid: RID, xmax: int
+    ) -> None:
+        """Redo of an index-key delete: register that one key as dead
+        immediately.  The heap delete whose redo registers the full row
+        comes later in the log; without this a standby read landing in
+        between would find the key in neither the tree nor the store."""
+        if self.mvcc is None:
+            return
+        self.versions.note_dead_key(index_id, value, rid, xmax)
+
+    def mvcc_forget_raw(self, table_id: int, rid: RID, data: bytes) -> None:
+        """Redo of a GC purge: the slot is gone, drop its dead keys."""
+        if self.mvcc is None:
+            return
+        table = self._table_by_id(table_id)
+        if table is None:
+            return
+        from repro.data.table import decode_row
+
+        self.versions.forget(table, rid, decode_row(data))
+
+    def mvcc_ensure_dead_keys(self, table: Table) -> None:
+        """Lazily rebuild a table's dead keys from its ghost slots
+        after the store was invalidated by a crash."""
+        self.versions.ensure_table(table)
+
+    def _table_by_id(self, table_id: int) -> Table | None:
+        for table in self.tables.values():
+            if table.table_id == table_id:
+                return table
+        return None
 
     def savepoint(self, txn: Transaction, name: str) -> int:
         return self.txns.savepoint(txn, name)
@@ -574,6 +695,12 @@ class Database:
             deadlock_detection=self.config.deadlock_detection,
         )
         self.txns = TransactionManager(self.log, self.locks, self.rm_registry, self.stats)
+        if self.mvcc is not None:
+            # Snapshots and the commit table were volatile; restart
+            # rebuilds visibility state from the log.
+            self.mvcc = SnapshotManager()
+        self.versions.invalidate()
+        self._wire_mvcc()
         self.failpoints.disarm_all(crash_paused=True)
         if self.replication is not None:
             # Wake synchronous commits parked for a standby ack (their
@@ -591,6 +718,7 @@ class Database:
         report = run_restart(self)
         self._rebuild_heap_views()
         self._bump_txn_ids()
+        self._rebuild_mvcc_state()
         if self.replication is not None:
             self.replication.primary_restarted()
         self._crashed = False
@@ -612,6 +740,7 @@ class Database:
         report = run_instant_restart(
             self, redo_workers=redo_workers, background=background
         )
+        self._rebuild_mvcc_state()
         if self.replication is not None:
             self.replication.primary_restarted()
         self._crashed = False
@@ -682,6 +811,50 @@ class Database:
             if record.txn_id > highest:
                 highest = record.txn_id
         self.txns.adopt_floor(highest + 1)
+
+    def _rebuild_mvcc_state(self) -> None:
+        """Reinstall snapshot visibility after a restart.
+
+        With no undecided transactions every logged transaction is
+        resolved, so the watermark is simply ``next_txn_id - 1`` and no
+        commit table is needed.  Otherwise the watermark sits below the
+        oldest undecided id, and a header-only log scan collects the
+        commit LSNs of the committed transactions above it (an in-doubt
+        PREPARE stays invisible until its decision arrives and
+        ``commit_prepared`` timestamps it)."""
+        if self.mvcc is None:
+            return
+        undecided = self.txns.undecided_transactions()
+        high_ts = self.log.end_lsn
+        if not undecided:
+            self.mvcc.reset(
+                watermark=self.txns.next_txn_id - 1, high_ts=high_ts
+            )
+        else:
+            watermark = min(t.txn_id for t in undecided) - 1
+            commits: dict[int, int] = {}
+            # Commits of higher-id transactions can predate the oldest
+            # undecided one's first record, so scan the full retained
+            # history (archive + live log when an archive is attached).
+            if self.archive is not None and self.log.truncation_point > 1:
+                for record in self.history_records():
+                    if (
+                        record.kind is RecordKind.COMMIT
+                        and record.txn_id > watermark
+                    ):
+                        commits[record.txn_id] = record.lsn
+            else:
+                for header in self.log.record_headers():
+                    if (
+                        header.kind is RecordKind.COMMIT
+                        and header.txn_id > watermark
+                    ):
+                        commits[header.txn_id] = header.lsn
+            self.mvcc.reset(
+                watermark=watermark, commit_ts=commits, high_ts=high_ts
+            )
+        self.versions.invalidate()
+        self.stats.incr("mvcc.state_rebuilds")
 
     # -- diagnostics ----------------------------------------------------------------------
 

@@ -59,8 +59,25 @@ class LoadgenSpec:
     hash-partitioned cluster that concentrates load on the shards
     owning the hot keys — the scenario the cluster benchmarks use to
     show router behavior beyond uniform traffic."""
+    read_fraction: float | None = None
+    """Reshape the op mix to this overall read share: reads split
+    80/20 fetch/scan, writes 62.5/37.5 insert/delete (the default
+    mix's internal ratios).  Composes with ``skew`` — hot-key reads
+    against hot-key writes is exactly the lock-contention scenario
+    snapshot reads dissolve."""
+    snapshot_reads: bool = False
+    """Issue fetches and scans at ``isolation="snapshot"`` (zero record
+    and next-key locks) instead of the default locking read path."""
 
     def __post_init__(self) -> None:
+        if self.read_fraction is not None:
+            if not 0.0 <= self.read_fraction <= 1.0:
+                raise ValueError("read_fraction must be within [0, 1]")
+            rf = self.read_fraction
+            object.__setattr__(self, "fetch_fraction", rf * 0.8)
+            object.__setattr__(self, "scan_fraction", rf * 0.2)
+            object.__setattr__(self, "insert_fraction", (1 - rf) * 0.625)
+            object.__setattr__(self, "delete_fraction", (1 - rf) * 0.375)
         total = (
             self.fetch_fraction
             + self.insert_fraction
@@ -261,9 +278,10 @@ class _Worker:
         spec = self.spec
         report = self.report
         start = time.perf_counter()
+        isolation = "snapshot" if spec.snapshot_reads else "rr"
         try:
             if kind == "fetch":
-                client.fetch(spec.table, spec.index, key)
+                client.fetch(spec.table, spec.index, key, isolation=isolation)
             elif kind == "insert":
                 client.insert(
                     spec.table,
@@ -273,7 +291,11 @@ class _Worker:
                 client.delete_by_key(spec.table, spec.index, key)
             else:
                 client.scan(
-                    spec.table, spec.index, low=key, high=key + spec.scan_length
+                    spec.table,
+                    spec.index,
+                    low=key,
+                    high=key + spec.scan_length,
+                    isolation=isolation,
                 )
         except (UniqueKeyViolationError, KeyNotFoundError):
             report.statement_misses += 1
@@ -396,6 +418,18 @@ def main(argv: list[str] | None = None) -> int:
         help="Zipfian theta (0 = uniform, YCSB hot-key default is 0.99)",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--read-fraction",
+        type=float,
+        default=None,
+        help="overall read share of the mix (reads split 80/20 "
+        "fetch/scan); composes with --skew",
+    )
+    parser.add_argument(
+        "--snapshot-reads",
+        action="store_true",
+        help='issue reads at isolation="snapshot" (zero locks)',
+    )
     args = parser.parse_args(argv)
 
     spec = LoadgenSpec(
@@ -405,6 +439,8 @@ def main(argv: list[str] | None = None) -> int:
         ops_per_txn=args.ops_per_txn,
         skew=args.skew,
         seed=args.seed,
+        read_fraction=args.read_fraction,
+        snapshot_reads=args.snapshot_reads,
     )
     report = run_loadgen(
         lambda: DatabaseClient.connect(args.host, args.port), spec

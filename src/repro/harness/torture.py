@@ -280,6 +280,12 @@ class MultiSessionSpec:
     crash+restart to check the final checkpoint made everything durable."""
     crash_after_requests: int = 40
     """Total acked requests after which the trigger pulls."""
+    snapshot_readers: int = 0
+    """Concurrent snapshot-reader sessions racing the writers: each
+    repeatedly opens a snapshot transaction, reads the same key twice,
+    and asserts the two answers agree — a snapshot must be stable no
+    matter what the writers commit in between.  A reader that hits the
+    crash simply stops; the round asserts zero torn reads at the end."""
 
 
 @dataclass
@@ -298,6 +304,9 @@ class MultiSessionReport:
     sync_forces: int = 0
     """Synchronous log I/Os over the whole round (the coalescing
     assertion compares this against ``commits``)."""
+    snapshot_reads: int = 0
+    """Double-reads completed by the snapshot readers (each one a
+    stability check that passed)."""
 
 
 class _SessionWorker:
@@ -377,6 +386,58 @@ class _SessionWorker:
                 pass
 
 
+class _SnapshotReader:
+    """One snapshot-reader session racing the writers.
+
+    Every iteration opens a snapshot transaction and reads one key
+    twice; the answers (presence *and* value) must agree — writers
+    committing in between must be invisible inside the snapshot.
+    Disagreements are counted in ``torn`` and asserted zero by the
+    round.  Reads take zero locks, so a reader can never deadlock a
+    writer (or be chosen as a victim)."""
+
+    def __init__(self, reader_id: int, spec: MultiSessionSpec, server) -> None:
+        self.reader_id = reader_id
+        self.spec = spec
+        self.server = server
+        self.rng = random.Random(spec.seed * 69997 + reader_id)
+        self.stop = False
+        self.reads = 0
+        self.torn = 0
+
+    def run(self) -> None:
+        from repro.common.errors import ServerError
+
+        try:
+            client = self.server.connect_loopback()
+        except Exception:  # noqa: BLE001 - server already stopping
+            return
+        spec = self.spec
+        try:
+            while not self.stop:
+                key = self.rng.randrange(spec.key_space)
+                try:
+                    with client.snapshot():
+                        first = client.fetch(
+                            "t", "by_id", key, isolation="snapshot"
+                        )
+                        second = client.fetch(
+                            "t", "by_id", key, isolation="snapshot"
+                        )
+                    if first != second:
+                        self.torn += 1
+                    self.reads += 1
+                except ServerError:
+                    return  # engine crashed / server stopping
+                except Exception:  # noqa: BLE001 - post-crash wreckage
+                    return
+        finally:
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
 def _join_all(threads: list, seed: int, timeout: float = 30.0) -> None:
     import time
 
@@ -431,6 +492,12 @@ def run_multisession_round(spec: MultiSessionSpec) -> MultiSessionReport:
     threads = [threading.Thread(target=worker.run) for worker in workers]
     for thread in threads:
         thread.start()
+    readers = [
+        _SnapshotReader(i, spec, server) for i in range(spec.snapshot_readers)
+    ]
+    reader_threads = [threading.Thread(target=r.run) for r in readers]
+    for thread in reader_threads:
+        thread.start()
 
     report = MultiSessionReport(seed=spec.seed, crash_mode=spec.crash_mode)
     stats_before = db.stats.snapshot()
@@ -438,8 +505,14 @@ def run_multisession_round(spec: MultiSessionSpec) -> MultiSessionReport:
     def total_acked() -> int:
         return sum(w.acked for w in workers)
 
+    def stop_readers() -> None:
+        for reader in readers:
+            reader.stop = True
+        _join_all(reader_threads, spec.seed)
+
     if spec.crash_mode == "graceful":
         _join_all(threads, spec.seed)
+        stop_readers()
         _check(server.shutdown(drain=True), spec.seed, "graceful drain timed out")
         db.crash()
     elif spec.crash_mode == "held_flush":
@@ -458,6 +531,7 @@ def run_multisession_round(spec: MultiSessionSpec) -> MultiSessionReport:
         db.crash()
         db.log.release_group_commit()
         _join_all(threads, spec.seed)
+        stop_readers()
         server.abort()
     elif spec.crash_mode == "racing":
         deadline = time.monotonic() + 5.0
@@ -466,9 +540,19 @@ def run_multisession_round(spec: MultiSessionSpec) -> MultiSessionReport:
         report.parked_at_crash = db.log.group_commit_parked
         db.crash()
         _join_all(threads, spec.seed)
+        stop_readers()
         server.abort()
     else:
         raise ValueError(f"unknown crash_mode {spec.crash_mode!r}")
+
+    report.snapshot_reads = sum(r.reads for r in readers)
+    torn_reads = sum(r.torn for r in readers)
+    _check(
+        torn_reads == 0,
+        spec.seed,
+        f"{spec.crash_mode}: {torn_reads} torn snapshot double-reads "
+        f"(of {report.snapshot_reads})",
+    )
 
     db.restart()
     diff = db.stats.diff(stats_before)
@@ -1467,3 +1551,45 @@ def run_cluster(
         )
         for seed in seeds
     ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run a seeded multi-session torture sweep.
+
+    ``python -m repro.harness.torture --seeds 3 --snapshot-readers 2``
+    adds snapshot-reader sessions racing the writers (each double-read
+    inside one snapshot must be stable; the round fails on any torn
+    read)."""
+    import argparse
+    import dataclasses
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="seeded multi-session crash torture"
+    )
+    parser.add_argument("--seeds", type=int, default=3, help="rounds to run")
+    parser.add_argument("--first-seed", type=int, default=0)
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=24)
+    parser.add_argument(
+        "--snapshot-readers",
+        type=int,
+        default=0,
+        help="snapshot-reader sessions racing the writers",
+    )
+    args = parser.parse_args(argv)
+
+    base = MultiSessionSpec(
+        sessions=args.sessions,
+        requests_per_session=args.requests,
+        snapshot_readers=args.snapshot_readers,
+    )
+    reports = run_multisession(
+        range(args.first_seed, args.first_seed + args.seeds), base
+    )
+    print(json.dumps([dataclasses.asdict(r) for r in reports], indent=2))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,240 @@
+"""Snapshot timestamps from commit LSNs.
+
+A snapshot is a point in the commit order: every transaction whose
+commit record's LSN (its *commit timestamp*) is at or below the
+snapshot's timestamp is visible, everything else — uncommitted,
+aborted, or committed later — is not.  Commit LSNs are the natural
+timestamp source in a WAL system: they are totally ordered, assigned
+under the log's append mutex, and already durable exactly when the
+commit is.
+
+The manager keeps a *watermark* W instead of an unbounded commit
+table: every transaction id at or below W is resolved (committed or
+aborted, its stamps final), and every *committed* one among them has a
+commit timestamp at or below every active snapshot's.  Visibility for
+a stamp then needs only ``stamp <= W`` or one commit-table probe;
+:meth:`SnapshotManager.prune` advances W and discards entries as
+snapshots retire.  Aborted transactions need no table at all — undo
+removes their stamps (unghost clears xmax, slot removal erases xmin)
+before they leave the transaction table, and until then they hold W
+down.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterable
+
+_INF = float("inf")
+
+
+class Snapshot:
+    """One read-only transaction's view of the commit order."""
+
+    __slots__ = ("snap_id", "ts", "_manager", "_cache")
+
+    def __init__(self, snap_id: int, ts: int, manager: "SnapshotManager") -> None:
+        self.snap_id = snap_id
+        #: Commit timestamp this snapshot reads at: transactions with
+        #: commit ts <= this are in the past, everything else invisible.
+        self.ts = ts
+        self._manager = manager
+        # Per-transaction visibility answers are immutable for a fixed
+        # snapshot (a later commit gets a later ts), so memoize them.
+        self._cache: dict[int, bool] = {}
+
+    def _committed(self, txn_id: int) -> bool:
+        hit = self._cache.get(txn_id)
+        if hit is None:
+            hit = self._manager.committed_before(txn_id, self.ts)
+            self._cache[txn_id] = hit
+        return hit
+
+    def visible_version(self, xmin: int, xmax: int) -> bool:
+        """Is a version stamped ``[xmin, xmax]`` part of this snapshot?
+
+        ``xmin == 0`` marks pre-MVCC/bootstrap data (always created);
+        ``xmax == 0`` means no deleter."""
+        if xmin and not self._committed(xmin):
+            return False
+        if xmax and self._committed(xmax):
+            return False
+        return True
+
+    def delete_visible(self, xmax: int) -> bool:
+        """Did a delete stamped ``xmax`` commit in this snapshot's past?
+
+        Lets a scan skip a dead-key entry *without fixing its heap
+        page*: if the noted deleter committed at or before the snapshot
+        timestamp the version is certainly invisible here.  (False just
+        means "must check the slot's stamps" — the deleter may have
+        aborted or committed later.)  Version chains grow until GC, so
+        this page-free skip is what keeps read cost flat."""
+        return bool(xmax) and self._committed(xmax)
+
+
+class HorizonSnapshot:
+    """A standby's snapshot: the replay horizon itself.
+
+    The standby applies shipped records under its replay lock, so a
+    read holding that lock sees a frozen prefix of the primary's log.
+    Visibility needs no commit table: a stamp is committed iff its
+    transaction is *not* among the ones still open at the horizon
+    (replay tracks that set from the shipped COMMIT/END records)."""
+
+    __slots__ = ("_open",)
+
+    def __init__(self, open_txns: Iterable[int]) -> None:
+        self._open = frozenset(open_txns)
+
+    def visible_version(self, xmin: int, xmax: int) -> bool:
+        if xmin and xmin in self._open:
+            return False
+        if xmax and xmax not in self._open:
+            return False
+        return True
+
+    def delete_visible(self, xmax: int) -> bool:
+        """At the horizon a resolved deleter means the delete happened
+        (an aborted one's CLRs restored the key to the tree, so the
+        dead entry is shadowed by the tree copy either way)."""
+        return bool(xmax) and xmax not in self._open
+
+
+class SnapshotManager:
+    """Issues snapshots, records commits, and bounds version GC."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._commit_ts: dict[int, int] = {}
+        #: Every txn id <= watermark is resolved and, if committed,
+        #: visible to every active (and future) snapshot.
+        self._watermark = 0
+        #: Highest timestamp issued; commit timestamps are strictly
+        #: monotone even if two commit LSNs race to report.
+        self._high_ts = 0
+        self._active: dict[int, int] = {}  # snap_id -> ts
+        self._snap_ids = itertools.count(1)
+
+    # -- commit side -------------------------------------------------------
+
+    def note_commit(self, txn_id: int, commit_lsn: int) -> int:
+        """Called after the commit record is durable, before locks drop
+        (so no snapshot can see the commit's effects before it has a
+        timestamp)."""
+        with self._mutex:
+            ts = commit_lsn if commit_lsn > self._high_ts else self._high_ts + 1
+            self._high_ts = ts
+            self._commit_ts[txn_id] = ts
+            return ts
+
+    # -- read side ---------------------------------------------------------
+
+    def begin_snapshot(self) -> Snapshot:
+        with self._mutex:
+            snap = Snapshot(next(self._snap_ids), self._high_ts, self)
+            self._active[snap.snap_id] = snap.ts
+            return snap
+
+    def release(self, snap: object) -> None:
+        snap_id = getattr(snap, "snap_id", None)
+        if snap_id is None:
+            return  # e.g. a standby's HorizonSnapshot
+        with self._mutex:
+            self._active.pop(snap_id, None)
+
+    def committed_before(self, txn_id: int, ts: int) -> bool:
+        with self._mutex:
+            if txn_id <= self._watermark:
+                return True
+            cts = self._commit_ts.get(txn_id)
+            return cts is not None and cts <= ts
+
+    # -- GC support --------------------------------------------------------
+
+    def oldest_ts(self) -> int | None:
+        """Timestamp of the oldest active snapshot (the GC horizon), or
+        None when no snapshot is active."""
+        with self._mutex:
+            return min(self._active.values()) if self._active else None
+
+    def active_count(self) -> int:
+        with self._mutex:
+            return len(self._active)
+
+    def deleter_resolved(self, txn_id: int, live_txn_ids: set[int]) -> bool:
+        """Has ``txn_id`` committed or aborted?  ``live_txn_ids`` is a
+        snapshot of the transaction table (an id in neither the commit
+        table nor the transaction table must have aborted and ENDed)."""
+        with self._mutex:
+            if txn_id <= self._watermark or txn_id in self._commit_ts:
+                return True
+        return txn_id not in live_txn_ids
+
+    def safe_to_discard(self, xmax: int, oldest_ts: int | None) -> bool:
+        """May a version deleted by ``xmax`` be physically purged?
+        Only if the deleter committed and no active snapshot predates
+        that commit."""
+        with self._mutex:
+            if xmax <= self._watermark:
+                cts = 0
+            else:
+                cts = self._commit_ts.get(xmax)
+                if cts is None:
+                    return False  # uncommitted (or aborted: stamps revert)
+        return oldest_ts is None or cts <= oldest_ts
+
+    def prune(self, next_txn_id: int, unresolved: set[int]) -> int:
+        """Advance the watermark and discard covered commit entries.
+
+        ``next_txn_id`` must be read *before* ``unresolved`` (the
+        transaction-table snapshot) so a transaction beginning between
+        the two reads cannot slip above the new watermark.  Returns the
+        number of commit-table entries discarded."""
+        oldest = self.oldest_ts()
+        with self._mutex:
+            barrier = next_txn_id
+            if unresolved:
+                barrier = min(barrier, min(unresolved))
+            if oldest is not None:
+                # A committed txn whose ts postdates the oldest snapshot
+                # still needs its table entry (the snapshot must judge
+                # it invisible), so it blocks the watermark.
+                for txn_id, ts in self._commit_ts.items():
+                    if ts > oldest and txn_id < barrier:
+                        barrier = txn_id
+            watermark = barrier - 1
+            if watermark > self._watermark:
+                self._watermark = watermark
+            dropped = [t for t in self._commit_ts if t <= self._watermark]
+            for txn_id in dropped:
+                del self._commit_ts[txn_id]
+            return len(dropped)
+
+    # -- restart -----------------------------------------------------------
+
+    def reset(
+        self,
+        watermark: int,
+        commit_ts: dict[int, int] | None = None,
+        high_ts: int = 0,
+    ) -> None:
+        """Reinstall state after a restart rebuilt it from the log.
+        Active snapshots died with the crash."""
+        with self._mutex:
+            self._watermark = watermark
+            self._commit_ts = dict(commit_ts or {})
+            self._high_ts = max(high_ts, self._high_ts)
+            self._active.clear()
+
+    def info(self) -> dict:
+        """Observability snapshot for ``dump_versions``."""
+        with self._mutex:
+            return {
+                "watermark": self._watermark,
+                "high_ts": self._high_ts,
+                "commit_table_size": len(self._commit_ts),
+                "active_snapshots": len(self._active),
+                "oldest_ts": min(self._active.values()) if self._active else None,
+            }

@@ -131,7 +131,17 @@ class ReplicationManager:
             "ship_start_lsn": ship_start,
             "master_lsn": db.log.master_lsn,
             "catalog": catalog_snapshot(db),
-            "config": {"page_size": db.config.page_size},
+            "config": {
+                "page_size": db.config.page_size,
+                "mvcc_enabled": db.config.mvcc_enabled,
+            },
+            # Transactions open at seed time: their stamps may sit in
+            # the dumped pages with no shipped record yet, so the
+            # standby must seed its open-transaction set (snapshot-read
+            # visibility) from here, not just from replay.
+            "active_txns": [
+                t.txn_id for t in db.txns.undecided_transactions()
+            ],
         }
 
     def poll(

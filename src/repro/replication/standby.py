@@ -8,14 +8,18 @@ copy, adopts the primary's LSN space (``rebase`` + byte-exact
 acking, and applies redoable records through the same
 :func:`~repro.recovery.redo.apply_record` primitive restart redo uses.
 
-Reads are served at the replay horizon.  They go through the ordinary
-fetch path (locks and all) but release their locks directly instead of
-committing — a standby read must never append to the log, or its LSN
-space would diverge from the primary's.  Because the stream is applied
-record-at-a-time, a read can land mid-SMO; readers take the replay
-lock (so they observe record boundaries) and retry briefly on
-structural inconsistency, exactly the transient a lagging replica is
-allowed to show.
+Reads are served as **consistent snapshots at the replay horizon**
+(:mod:`repro.mvcc`): a reader holds the replay lock (freezing the
+horizon), wraps a throwaway transaction around a
+:class:`~repro.mvcc.snapshot.HorizonSnapshot` built from the set of
+transactions still open in the shipped stream, and reads lock-free —
+a standby read must never append to the log, or its LSN space would
+diverge from the primary's, and now it never touches the lock table
+either.  Multi-key reads under one replay-lock hold are torn-free: the
+horizon cannot advance between the keys.  Because the stream is
+applied record-at-a-time, a read can still land mid-SMO; readers
+retry briefly on structural inconsistency, exactly the transient a
+lagging replica is allowed to show.
 
 Promotion is ordinary ARIES restart recovery: analysis from the last
 *shipped* checkpoint (the standby tracks CKPT_BEGIN/CKPT_END pairs into
@@ -41,6 +45,7 @@ from repro.common.errors import (
     TreeInconsistentError,
 )
 from repro.db import Database
+from repro.mvcc.snapshot import HorizonSnapshot
 from repro.recovery.redo import apply_record
 from repro.recovery.restart import RestartReport
 from repro.replication.catalog import install_catalog
@@ -74,9 +79,15 @@ class Standby:
         self._replay_lock = threading.RLock()
         self._replay_lsn = NULL_LSN
         self._primary_flushed = 0
+        #: Last local durable position reported to the primary.
+        self._acked_lsn = 0
         self._pending_ckpt = NULL_LSN
         self._promoted = False
         self.last_error: str | None = None
+        #: Transactions open at the replay horizon (stamps present,
+        #: outcome unknown) — the standby's snapshot visibility set.
+        #: Mutated only under the replay lock.
+        self._open_txns: set[int] = set()
 
     # -- seeding -----------------------------------------------------------
 
@@ -91,6 +102,11 @@ class Standby:
         config = self._config or replace(
             DEFAULT_CONFIG,
             page_size=int(snap["config"]["page_size"]),
+            # Snapshot visibility judges the primary's version stamps;
+            # a primary that never wrote them cannot be read that way.
+            mvcc_enabled=bool(
+                snap["config"].get("mvcc_enabled", DEFAULT_CONFIG.mvcc_enabled)
+            ),
             group_commit=False,
             checkpoint_interval_records=0,
         )
@@ -108,6 +124,10 @@ class Standby:
             db.log.write_master(int(snap["master_lsn"]))
         self.db = db
         self._replay_lsn = ship_start - 1
+        # Everything up to the seed position is covered by the image
+        # copy — the primary needs no ack for it.
+        self._acked_lsn = db.log.flushed_lsn
+        self._open_txns = set(snap.get("active_txns", []))
         db.stats.incr("standby.seeded")
         return self
 
@@ -144,9 +164,9 @@ class Standby:
                 data = base64.b64decode(response["data"])
                 if data:
                     self._apply_chunk(int(response["base_lsn"]), data)
-                    client.request(
-                        "repl_ack", name=self.name, lsn=self.db.log.flushed_lsn
-                    )
+                    acked = self.db.log.flushed_lsn
+                    client.request("repl_ack", name=self.name, lsn=acked)
+                    self._acked_lsn = acked
             except (ServerError, OSError) as exc:
                 # Connection lost (primary crashed or server went away):
                 # drop the client and retry until stopped or promoted.
@@ -167,6 +187,16 @@ class Standby:
             records = db.log.append_raw(base_lsn, data)
             db.log.force()
             for record in records:
+                # Track the set of transactions open at the horizon
+                # (snapshot-read visibility).  COMMIT resolves a
+                # transaction immediately; ROLLBACK does *not* — its
+                # CLRs are still arriving, and until the END its stamps
+                # must stay invisible.
+                if record.txn_id:
+                    if record.kind in (RecordKind.COMMIT, RecordKind.END):
+                        self._open_txns.discard(record.txn_id)
+                    else:
+                        self._open_txns.add(record.txn_id)
                 if record.is_redoable:
                     apply_record(db, record)
                     if record.rm == RM_HEAP and record.op == "format":
@@ -230,10 +260,15 @@ class Standby:
 
     def wait_for_lsn(self, lsn: int, timeout: float = 5.0) -> bool:
         """Block until the replay horizon reaches ``lsn`` (byte
-        position) or ``timeout`` elapses."""
+        position) — applied, durable, *and acknowledged* to the
+        primary — or ``timeout`` elapses."""
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
-            if self.db is not None and self.db.log.flushed_lsn >= lsn:
+            if (
+                self.db is not None
+                and self.db.log.flushed_lsn >= lsn
+                and self._acked_lsn >= lsn
+            ):
                 return True
             time.sleep(0.002)
         return False
@@ -241,29 +276,44 @@ class Standby:
     # -- read-only service -------------------------------------------------
 
     def fetch(self, table: str, index: str, key: object, retries: int = 50):
-        """Read-only fetch at the replay horizon.
+        """Read-only fetch at the replay horizon (one-key snapshot)."""
+        return self.snapshot_read(table, index, [key], retries=retries)[0]
 
-        Runs the ordinary locking fetch path inside a throwaway
-        transaction, then releases the locks directly (never commits —
-        a standby must not log).  Record-at-a-time replay means a read
-        can catch the tree mid-SMO; such structural transients are
-        retried while replay advances.
+    def snapshot_read(
+        self, table: str, index: str, keys: list, retries: int = 50
+    ) -> list:
+        """Consistent multi-key read at the replay horizon.
+
+        Holds the replay lock across *all* keys (the horizon cannot
+        advance mid-read: no torn multi-key views) and reads through a
+        :class:`HorizonSnapshot` — **zero locks**, never logs.  Falls
+        back to the legacy locking path when MVCC is disabled.
+        Record-at-a-time replay means a read can catch the tree
+        mid-SMO; such structural transients are retried while replay
+        advances.  Returns one row (or None) per key, in order.
         """
         db = self._require_db()
         if self._promoted:
             raise StandbyError(
                 "standby was promoted; use the promoted database/server"
             )
+        use_snapshot = db.config.mvcc_enabled
         last: Exception | None = None
         for _ in range(retries):
             with self._replay_lock:
                 txn = db.begin()
+                if use_snapshot:
+                    txn.snapshot = HorizonSnapshot(self._open_txns)
                 try:
-                    return db.fetch(txn, table, index, key)
+                    rows = [db.fetch(txn, table, index, key) for key in keys]
+                    if use_snapshot:
+                        db.stats.incr("standby.snapshot_reads")
+                    return rows
                 except (TreeInconsistentError, PageNotFoundError) as exc:
                     last = exc
                 finally:
-                    db.locks.release_all(txn.txn_id)
+                    if not use_snapshot:
+                        db.locks.release_all(txn.txn_id)
                     db.txns.forget(txn.txn_id)
             time.sleep(0.002)  # let replay move past the SMO
         raise ReplicationError(

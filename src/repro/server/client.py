@@ -81,6 +81,12 @@ class DatabaseClient:
     def begin(self) -> RemoteTransaction:
         return RemoteTransaction(self, int(self.request("begin")))  # type: ignore[arg-type]
 
+    def begin_snapshot(self) -> RemoteTransaction:
+        """Open a snapshot-read transaction: every read sees one
+        consistent version of the database and takes zero locks; writes
+        inside it are rejected server-side."""
+        return RemoteTransaction(self, int(self.request("begin_snapshot")))  # type: ignore[arg-type]
+
     def commit(self) -> None:
         self.request("commit")
 
@@ -107,6 +113,23 @@ class DatabaseClient:
                 self.rollback()
             except ServerError:
                 pass  # already aborted server-side, or connection gone
+            raise
+        else:
+            self.commit()
+
+    @contextmanager
+    def snapshot(self) -> Iterator[RemoteTransaction]:
+        """Run a block of lock-free reads against one consistent
+        snapshot.  Mirrors ``Database.snapshot``; commit and rollback
+        both just release the snapshot server-side."""
+        txn = self.begin_snapshot()
+        try:
+            yield txn
+        except BaseException:
+            try:
+                self.rollback()
+            except ServerError:
+                pass  # connection gone or already released server-side
             raise
         else:
             self.commit()

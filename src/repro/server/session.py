@@ -64,6 +64,7 @@ class Session:
         self._ops: dict[str, Callable[[dict], object]] = {
             "ping": self._op_ping,
             "begin": self._op_begin,
+            "begin_snapshot": self._op_begin_snapshot,
             "commit": self._op_commit,
             "rollback": self._op_rollback,
             "savepoint": self._op_savepoint,
@@ -200,6 +201,15 @@ class Session:
         self.txn = self.server.db.begin()
         return self.txn.txn_id
 
+    def _op_begin_snapshot(self, request: dict) -> int:
+        """Open a snapshot-read transaction: every read in it sees one
+        consistent version of the database and takes zero locks; writes
+        are rejected by the engine."""
+        if self.txn is not None:
+            raise SessionStateError("transaction already open in this session")
+        self.txn = self.server.db.begin_snapshot()
+        return self.txn.txn_id
+
     def _require_txn(self) -> Transaction:
         if self.txn is None:
             raise SessionStateError("no transaction open in this session")
@@ -263,17 +273,27 @@ class Session:
 
     # -- data ops ----------------------------------------------------------
 
-    def _run_statement(self, fn: Callable[[Transaction], object]) -> object:
+    def _run_statement(
+        self, fn: Callable[[Transaction], object], snapshot: bool = False
+    ) -> object:
         """Run ``fn`` in the open transaction (statement savepoint) or
-        autocommit."""
+        autocommit.  Snapshot transactions skip the savepoint wrap —
+        they never log, so there is nothing to roll back to; a
+        ``snapshot=True`` autocommit runs lock-free under a throwaway
+        snapshot instead of a write transaction."""
         db = self.server.db
         if self.txn is not None:
+            if self.txn.snapshot is not None:
+                return fn(self.txn)
             db.savepoint(self.txn, _STMT_SAVEPOINT)
             try:
                 return fn(self.txn)
             except _STATEMENT_ERRORS:
                 db.rollback_to_savepoint(self.txn, _STMT_SAVEPOINT)
                 raise
+        if snapshot:
+            with db.snapshot() as txn:
+                return fn(txn)
         with db.transaction() as txn:
             return fn(txn)
 
@@ -290,7 +310,8 @@ class Session:
                 request["index"],
                 request["key"],
                 isolation=request.get("isolation", "rr"),
-            )
+            ),
+            snapshot=request.get("isolation") == "snapshot",
         )
 
     def _op_fetch_prefix(self, request: dict) -> dict | None:
@@ -330,7 +351,9 @@ class Session:
                     break
             return rows
 
-        return self._run_statement(scan)
+        return self._run_statement(
+            scan, snapshot=request.get("isolation") == "snapshot"
+        )
 
     # -- DDL / admin -------------------------------------------------------
 

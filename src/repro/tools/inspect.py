@@ -236,6 +236,7 @@ _STAT_GROUPS = (
     ("recovery", "recovery."),
     ("server", "server."),
     ("standby", "standby."),
+    ("mvcc", "mvcc."),
 )
 
 
@@ -247,6 +248,62 @@ def summarize_stats(db: "Database") -> str:
         if body:
             sections.append(f"-- {title} --\n{body}")
     return "\n\n".join(sections) if sections else "(no counters)"
+
+
+def dump_versions(db: "Database") -> str:
+    """One-look view of the MVCC state: snapshot manager horizon,
+    per-index dead-key counts, and a version-chain-length histogram
+    (how many dead versions each distinct key value carries — the
+    population GC exists to keep small).  Ghost slot counts come from
+    the heaps; a ghost is the old version a snapshot may still need.
+    """
+    if db.mvcc is None:
+        return "(mvcc is disabled: config.mvcc_enabled=False)"
+    info = db.mvcc.info()
+    lines = [
+        "snapshot manager: "
+        f"watermark={info['watermark']} high_ts={info['high_ts']} "
+        f"commit_table={info['commit_table_size']} "
+        f"active_snapshots={info['active_snapshots']} "
+        f"oldest_ts={info['oldest_ts']} (GC horizon)"
+    ]
+    for table_name, table in sorted(db.tables.items()):
+        db.mvcc_ensure_dead_keys(table)
+        ghosts = 0
+        for page_id in list(table.heap.page_ids):
+            try:
+                page = table.heap._fix_heap_page(page_id)
+            except Exception:  # noqa: BLE001 - page mid-recovery
+                continue
+            try:
+                ghosts += sum(
+                    1
+                    for entry in page.slots
+                    if entry is not None and not entry[1]
+                )
+            finally:
+                db.buffer.unfix(page_id)
+        lines.append(f"table {table_name!r}: {ghosts} ghost slot(s)")
+        for index_name, tree in sorted(table.indexes.items()):
+            entries = list(db.versions.entries(tree.index_id))
+            chain_lengths: dict[bytes, int] = {}
+            for value, _rid, _xmax in entries:
+                chain_lengths[value] = chain_lengths.get(value, 0) + 1
+            histogram: dict[int, int] = {}
+            for length in chain_lengths.values():
+                histogram[length] = histogram.get(length, 0) + 1
+            shape = (
+                ", ".join(
+                    f"{count} key(s) x{length}"
+                    for length, count in sorted(histogram.items())
+                )
+                or "none"
+            )
+            lines.append(
+                f"  index {index_name!r}: {len(entries)} dead key(s) "
+                f"over {len(chain_lengths)} value(s) [chains: {shape}]"
+            )
+    return "\n".join(lines)
 
 
 def dump_recovery_progress(db: "Database") -> str:

@@ -66,6 +66,11 @@ class TransactionManager:
         #: the transaction is committed either way (in-doubt surfaced
         #: to the caller, never silent).
         self.commit_gate = None
+        #: MVCC hook, called with ``(txn_id, commit_lsn)`` after the
+        #: commit record is durable and *before* locks are released —
+        #: a commit must have its snapshot timestamp before any reader
+        #: can be exposed to its effects.
+        self.on_commit = None
 
     # -- transaction table ---------------------------------------------------
 
@@ -140,6 +145,10 @@ class TransactionManager:
 
     def log_for(self, txn: Transaction, record: LogRecord) -> int:
         """Chain ``record`` onto ``txn`` and append it to the log."""
+        if txn.snapshot is not None:
+            raise TransactionNotActiveError(
+                f"snapshot transaction {txn.txn_id} is read-only and may not log"
+            )
         record.txn_id = txn.txn_id
         record.prev_lsn = txn.last_lsn
         lsn = self._log.append(record)
@@ -161,6 +170,11 @@ class TransactionManager:
         # and restart rolls it back.
         self._log.force_for_commit(txn.last_lsn)
         txn.status = TxnStatus.COMMITTED
+        # Timestamp the commit (durable) before its locks drop: a
+        # snapshot begun after the release must already see it.
+        on_commit = self.on_commit
+        if on_commit is not None and wrote_data:
+            on_commit(txn.txn_id, commit_lsn)
         released = self._locks.release_all(txn.txn_id)
         self._stats.incr("txn.locks_released_at_commit", released)
         end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id, undoable=False)
@@ -233,9 +247,12 @@ class TransactionManager:
             payload={"gid": txn.gid},
             undoable=False,
         )
-        self.log_for(txn, commit)
+        commit_lsn = self.log_for(txn, commit)
         self._log.force_for_commit(txn.last_lsn)
         txn.status = TxnStatus.COMMITTED
+        on_commit = self.on_commit
+        if on_commit is not None:
+            on_commit(txn.txn_id, commit_lsn)
         released = self._locks.release_all(txn.txn_id)
         self._stats.incr("txn.locks_released_at_commit", released)
         end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id, undoable=False)

@@ -41,6 +41,11 @@ class Transaction:
     savepoints: dict[str, int] = field(default_factory=dict)
     nta_stack: list[int] = field(default_factory=list)
     in_rollback: bool = False
+    #: Set on read-only snapshot transactions (:mod:`repro.mvcc`): the
+    #: Snapshot/HorizonSnapshot whose commit-order view this
+    #: transaction reads.  A snapshot transaction acquires no locks and
+    #: may not log (``log_for`` enforces it).
+    snapshot: object | None = None
     #: Global transaction id when this branch was PREPAREd (2PC).
     gid: str | None = None
     #: LSN of this branch's PREPARE record.

@@ -1,0 +1,119 @@
+"""Snapshot reads across crash/restart: live version chains survive
+recovery, instant restart serves snapshot reads mid-drain, and
+prepared-but-undecided branches stay invisible until the coordinator
+decides."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import build_db, populate
+
+
+@pytest.fixture
+def db():
+    database = build_db()
+    database.create_table("t")
+    database.create_index("t", "by_id", column="id", unique=True)
+    yield database
+    database.close()
+
+
+def snapshot_ids(db):
+    with db.snapshot() as snap:
+        return [r["id"] for _, r in db.scan(snap, "t", "by_id")]
+
+
+class TestRestart:
+    def test_restart_with_live_version_chains(self, db):
+        """Crash while ghost versions are live: a post-restart snapshot
+        sees exactly the committed state — deletes stay deleted, and the
+        recovered ghosts still answer for the keys GC has not purged."""
+        populate(db, range(8))
+        for key in (2, 5):
+            txn = db.begin()
+            db.delete_by_key(txn, "t", "by_id", key)
+            db.commit(txn)
+        db.crash()
+        db.restart()
+        assert snapshot_ids(db) == [0, 1, 3, 4, 6, 7]
+        with db.snapshot() as snap:
+            assert db.fetch(snap, "t", "by_id", 2) is None
+            assert db.fetch(snap, "t", "by_id", 3) is not None
+
+    def test_restart_undoes_loser_then_snapshot_reads_clean(self, db):
+        populate(db, [1, 2])
+        loser = db.begin()
+        db.insert(loser, "t", {"id": 9, "val": "loser"})
+        db.delete_by_key(loser, "t", "by_id", 1)
+        db.crash()
+        db.restart()
+        # The loser's insert is undone and its delete rolled back; a
+        # snapshot sees only the committed rows.
+        assert snapshot_ids(db) == [1, 2]
+
+    def test_snapshot_timestamps_resume_monotone(self, db):
+        populate(db, [1])
+        snap = db.begin_snapshot()
+        ts_before = snap.snapshot.ts
+        db.end_snapshot(snap)
+        db.crash()
+        db.restart()
+        populate(db, [2])
+        snap = db.begin_snapshot()
+        try:
+            assert snap.snapshot.ts >= ts_before
+            assert db.fetch(snap, "t", "by_id", 2) is not None
+        finally:
+            db.end_snapshot(snap)
+
+
+class TestInstantRestart:
+    def test_instant_restart_serves_snapshots_mid_drain(self, db):
+        populate(db, range(30))
+        txn = db.begin()
+        db.delete_by_key(txn, "t", "by_id", 7)
+        db.commit(txn)
+        db.crash()
+        db.instant_restart(background=False)
+        # Pages still pending redo: the snapshot read recovers them on
+        # demand and sees the committed state.
+        with db.snapshot() as snap:
+            assert db.fetch(snap, "t", "by_id", 7) is None
+            assert db.fetch(snap, "t", "by_id", 8) is not None
+        assert db.recovery is not None
+        db.recovery.drain()
+        assert snapshot_ids(db) == [k for k in range(30) if k != 7]
+
+
+class TestPrepared:
+    def test_prepared_branch_invisible_until_decided(self, db):
+        populate(db, [1])
+        branch = db.begin()
+        db.insert(branch, "t", {"id": 2, "val": "branch"})
+        assert db.prepare(branch, "gid-1") == "yes"
+        # In doubt: not visible to a snapshot begun now.
+        assert snapshot_ids(db) == [1]
+        db.commit_prepared("gid-1")
+        assert snapshot_ids(db) == [1, 2]
+
+    def test_prepared_branch_invisible_across_restart(self, db):
+        populate(db, [1])
+        branch = db.begin()
+        db.insert(branch, "t", {"id": 2, "val": "branch"})
+        db.prepare(branch, "gid-2")
+        db.crash()
+        db.restart()
+        # Restart re-acquired the branch's locks but a snapshot does
+        # not block — and does not see the undecided write.
+        assert snapshot_ids(db) == [1]
+        db.commit_prepared("gid-2")
+        assert snapshot_ids(db) == [1, 2]
+
+    def test_aborted_prepared_branch_never_visible(self, db):
+        populate(db, [1])
+        branch = db.begin()
+        db.insert(branch, "t", {"id": 2, "val": "branch"})
+        db.prepare(branch, "gid-3")
+        db.rollback_prepared("gid-3")
+        assert snapshot_ids(db) == [1]
