@@ -1,0 +1,24 @@
+"""CLI entry point: ``python -m repro.analysis <lint|walcheck> ...``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import lint, walcheck
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.analysis {lint,walcheck} ...")
+        return 2
+    command, rest = argv[0], argv[1:]
+    if command == "lint":
+        return lint.main(rest)
+    if command == "walcheck":
+        return walcheck.main(rest)
+    print(f"unknown command {command!r} (expected 'lint' or 'walcheck')")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -33,7 +33,6 @@ from repro.common.rid import IndexKey
 from repro.btree.node import IndexPage
 from repro.btree.ops_common import (
     RestartOperation,
-    release_pages,
     request_locks,
     same_value_nearby,
 )

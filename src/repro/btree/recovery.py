@@ -118,26 +118,31 @@ class BTreeResourceManager:
         page = self._try_fix_leaf(ctx, tree, record.page_id)
         if page is not None:
             ctx.latches.latch_page(page.page_id, "X")
-            _, present = page.find_key(key)
-            if present and (len(page.keys) >= 2 or page.page_id == tree.root_page_id):
-                clr = clr_record(
-                    txn.txn_id,
-                    "btree",
-                    "delete_key_c",
-                    page.page_id,
-                    {"index_id": tree.index_id, "key": key, "set_delete_bit": False},
-                    undo_next_lsn=record.prev_lsn,
-                )
-                lsn = ctx.txns.log_for(txn, clr)
-                page.remove_key(key)
-                page.page_lsn = lsn
-                ctx.buffer.mark_dirty(page.page_id, lsn)
+            page_oriented = False
+            try:
+                _, present = page.find_key(key)
+                if present and (
+                    len(page.keys) >= 2 or page.page_id == tree.root_page_id
+                ):
+                    clr = clr_record(
+                        txn.txn_id,
+                        "btree",
+                        "delete_key_c",
+                        page.page_id,
+                        {"index_id": tree.index_id, "key": key, "set_delete_bit": False},
+                        undo_next_lsn=record.prev_lsn,
+                    )
+                    lsn = ctx.txns.log_for(txn, clr)
+                    page.remove_key(key)
+                    page.page_lsn = lsn
+                    ctx.buffer.mark_dirty(page.page_id, lsn)
+                    page_oriented = True
+            finally:
                 ctx.latches.unlatch_page(page.page_id)
                 ctx.buffer.unfix(page.page_id)
+            if page_oriented:
                 ctx.stats.incr("btree.undo.page_oriented")
                 return
-            ctx.latches.unlatch_page(page.page_id)
-            ctx.buffer.unfix(page.page_id)
         # Reasons 2 (key moved by a split) or 4 (page would empty,
         # needing a page-delete SMO): undo logically.
         ctx.stats.incr("btree.undo.logical")
@@ -156,28 +161,31 @@ class BTreeResourceManager:
         page = self._try_fix_leaf(ctx, tree, record.page_id)
         if page is not None:
             ctx.latches.latch_page(page.page_id, "X")
-            applicable = page.bounds_key(key) and page.has_room_for_key(
-                key, ctx.config.page_size
-            )
-            if applicable:
-                clr = clr_record(
-                    txn.txn_id,
-                    "btree",
-                    "insert_key_c",
-                    page.page_id,
-                    {"index_id": tree.index_id, "key": key},
-                    undo_next_lsn=record.prev_lsn,
+            page_oriented = False
+            try:
+                applicable = page.bounds_key(key) and page.has_room_for_key(
+                    key, ctx.config.page_size
                 )
-                lsn = ctx.txns.log_for(txn, clr)
-                page.insert_key(key)
-                page.page_lsn = lsn
-                ctx.buffer.mark_dirty(page.page_id, lsn)
+                if applicable:
+                    clr = clr_record(
+                        txn.txn_id,
+                        "btree",
+                        "insert_key_c",
+                        page.page_id,
+                        {"index_id": tree.index_id, "key": key},
+                        undo_next_lsn=record.prev_lsn,
+                    )
+                    lsn = ctx.txns.log_for(txn, clr)
+                    page.insert_key(key)
+                    page.page_lsn = lsn
+                    ctx.buffer.mark_dirty(page.page_id, lsn)
+                    page_oriented = True
+            finally:
                 ctx.latches.unlatch_page(page.page_id)
                 ctx.buffer.unfix(page.page_id)
+            if page_oriented:
                 ctx.stats.incr("btree.undo.page_oriented")
                 return
-            ctx.latches.unlatch_page(page.page_id)
-            ctx.buffer.unfix(page.page_id)
         ctx.stats.incr("btree.undo.logical")
         from repro.btree.insert import index_insert
 
@@ -189,7 +197,7 @@ class BTreeResourceManager:
         """Fix the original page if it still exists and is still a leaf
         of this index; None forces the logical path."""
         try:
-            page = ctx.buffer.fix(page_id)
+            page = ctx.buffer.fix(page_id)  # noqa: RPR001 - ownership transfer: caller unfixes
         except PageNotFoundError:
             return None
         if (
@@ -247,10 +255,10 @@ class BTreeResourceManager:
         flushed (its creating record was lost with the crash, but a
         later flushed record may still name it)."""
         try:
-            page = ctx.buffer.fix(page_id)
+            page = ctx.buffer.fix(page_id)  # noqa: RPR001 - ownership transfer: caller unfixes
         except PageNotFoundError:
             shell = IndexPage(page_id, 0, 0)
-            ctx.buffer.fix_new(shell)
+            ctx.buffer.fix_new(shell)  # noqa: RPR001 - ownership transfer: caller unfixes
             return shell
         if not isinstance(page, IndexPage):
             ctx.buffer.unfix(page_id)

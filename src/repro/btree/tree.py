@@ -98,14 +98,14 @@ class BTree:
         return IndexKey(encode_key(value), rid)
 
     def fix_page(self, page_id: int) -> IndexPage:
-        page = self.ctx.buffer.fix(page_id)
+        page = self.ctx.buffer.fix(page_id)  # noqa: RPR001 - ownership transfer: caller unfixes
         if not isinstance(page, IndexPage):
             self.ctx.buffer.unfix(page_id)
             raise IndexError_(f"page {page_id} is not an index page")
         return page
 
     def latch(self, page: IndexPage, mode: str, conditional: bool = False) -> None:
-        self.ctx.latches.latch_page(page.page_id, mode, conditional=conditional)
+        self.ctx.latches.latch_page(page.page_id, mode, conditional=conditional)  # noqa: RPR001 - ownership transfer: caller unlatches
 
     def unlatch(self, page: IndexPage) -> None:
         self.ctx.latches.unlatch_page(page.page_id)
@@ -191,7 +191,7 @@ class BTree:
                 txn.txn_id, tree_lock_name(self.index_id), mode, LockDuration.MANUAL
             )
         else:
-            self.tree_latch.acquire("X")
+            self.tree_latch.acquire("X")  # noqa: RPR001 - held across the SMO; smo_end releases
         self.ctx.stats.incr("btree.smo_begun")
 
     def smo_upgrade_for_nonleaf(self, txn: "Transaction") -> None:
@@ -236,7 +236,7 @@ class BTree:
                     conditional=True,
                 )
             else:
-                self.tree_latch.acquire("S", conditional=True)
+                self.tree_latch.acquire("S", conditional=True)  # noqa: RPR001 - POSC barrier held until posc_release
             return True
         except LockNotGrantedError:
             return False
@@ -250,7 +250,7 @@ class BTree:
                 LockDuration.MANUAL,
             )
         else:
-            self.tree_latch.acquire("S")
+            self.tree_latch.acquire("S")  # noqa: RPR001 - POSC barrier held until posc_release
 
     def posc_release(self, txn: "Transaction") -> None:
         if self._lock_mode_smo:

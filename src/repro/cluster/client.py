@@ -175,7 +175,7 @@ class ClusterClient:
         for index in participants:
             try:
                 self._shards[index].decide(gid, DECISION_COMMIT)
-            except Exception:  # noqa: BLE001 - shard will learn at recovery
+            except Exception:  # noqa: BLE001,RPR005 - shard will learn at recovery
                 complete = False
         if complete:
             self._coordinator.note_ended(gid)
@@ -194,20 +194,20 @@ class ClusterClient:
         for index in participants:
             try:
                 self._shards[index].decide(gid, DECISION_ABORT)
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001,RPR005 - 2PC decision already durable; shard learns at recovery
                 pass
         for index in touched:
             if index in participants or index == failed:
                 continue
             try:
                 self._shards[index].rollback()
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001,RPR005 - 2PC decision already durable; shard learns at recovery
                 pass
         # The failing shard may still hold its (unprepared) branch open.
         if failed is not None:
             try:
                 self._shards[failed].rollback()
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001,RPR005 - 2PC decision already durable; shard learns at recovery
                 pass
 
     # -- data ops ------------------------------------------------------------
@@ -300,7 +300,7 @@ class ClusterClient:
         for client in self._shards:
             try:
                 client.close()
-            except Exception:  # noqa: BLE001 - a dead shard must not block close
+            except Exception:  # noqa: BLE001,RPR005 - a dead shard must not block close
                 pass
 
     @property

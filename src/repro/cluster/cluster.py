@@ -180,7 +180,7 @@ class Cluster:
                 if shard.up:
                     shard.server.abort()
                 shard.db.close()
-            except Exception:  # noqa: BLE001 - best-effort teardown
+            except Exception:  # noqa: BLE001,RPR005 - best-effort teardown
                 pass
         self.coordinator.close()
 

@@ -191,7 +191,7 @@ class Coordinator:
                         client.decide(gid, DECISION_COMMIT)
                     finally:
                         client.close()
-                except Exception:  # noqa: BLE001 - shard down: retry later
+                except Exception:  # noqa: BLE001,RPR005 - shard down: retry later
                     all_acked = False
                     self.stats.incr("coord.recover_push_failures")
             if all_acked:

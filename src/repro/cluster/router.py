@@ -119,7 +119,7 @@ class RouterSession:
             return error_response(ProtocolError(f"unknown op {op!r}"))
         try:
             return {"ok": True, "result": handler(request)}
-        except Exception as exc:  # noqa: BLE001 - the wire needs *a* reply
+        except Exception as exc:  # noqa: BLE001,RPR005 - the wire needs *a* reply
             response = error_response(exc)
             # A failed cluster commit/abort leaves no open transaction.
             if self._txn_id is not None and not self.backend._txn_open:
@@ -132,11 +132,11 @@ class RouterSession:
             self._txn_id = None
             try:
                 self.backend.rollback()
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001,RPR005 - reply best-effort; client treats drop as in-doubt
                 pass
         try:
             self.backend.close()
-        except Exception:  # noqa: BLE001
+        except Exception:  # noqa: BLE001,RPR005 - socket already dead; session loop exits
             pass
         self.conn.close()
         self.router.forget_session(self)
@@ -324,7 +324,7 @@ class ShardRouter:
         for session in sessions:
             try:
                 session.conn.close()
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001,RPR005 - best-effort teardown of a dying router
                 pass
 
     def __enter__(self) -> "ShardRouter":

@@ -71,6 +71,13 @@ class DatabaseConfig:
     write path skips the (cheap) dead-key bookkeeping — the ablation
     baseline for the E19 writer-overhead comparison."""
 
+    mvcc_gc_interval_seconds: float = 0.0
+    """Run a version-GC pass (:func:`repro.mvcc.gc.run_mvcc_gc`) every
+    this many seconds on a background thread (0 disables — GC stays
+    caller-driven).  The pacer skips passes while the database is
+    crashed or closing; it exists so concurrent harnesses exercise GC's
+    latch ordering under load, not as a tuned production daemon."""
+
     ondemand_recovery_timeout_seconds: float = 30.0
     """Instant restart: how long a page fix waits for another thread's
     in-flight on-demand recovery of the same page before giving up with
@@ -106,6 +113,8 @@ class DatabaseConfig:
             raise ConfigError("group_commit_max_wait_seconds must be >= 0")
         if self.io_retry_backoff_seconds < 0:
             raise ConfigError("io_retry_backoff_seconds must be >= 0")
+        if self.mvcc_gc_interval_seconds < 0:
+            raise ConfigError("mvcc_gc_interval_seconds must be >= 0")
 
     def with_overrides(self, **kwargs: object) -> "DatabaseConfig":
         """Return a copy with the given fields replaced."""

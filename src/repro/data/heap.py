@@ -298,7 +298,7 @@ class HeapFile:
     # -- page management ---------------------------------------------------------------
 
     def _fix_heap_page(self, page_id: int) -> HeapPage:
-        page = self._ctx.buffer.fix(page_id)
+        page = self._ctx.buffer.fix(page_id)  # noqa: RPR001 - ownership transfer: caller unfixes
         if not isinstance(page, HeapPage):
             self._ctx.buffer.unfix(page_id)
             raise StorageError(f"page {page_id} is not a heap page")
@@ -319,7 +319,7 @@ class HeapFile:
     def _format_new_page(self, txn: "Transaction") -> HeapPage:
         page_id = self._ctx.disk.allocate_page_id()
         page = HeapPage(page_id, self.table_id)
-        self._ctx.buffer.fix_new(page)
+        self._ctx.buffer.fix_new(page)  # noqa: RPR001 - ownership transfer: caller unfixes
         record = update_record(
             txn.txn_id,
             RM_HEAP,

@@ -26,6 +26,7 @@ in the simulated durable stores and genuinely dies with ``crash()``.
 from __future__ import annotations
 
 import itertools
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -38,7 +39,7 @@ from repro.common.errors import (
     TransactionNotActiveError,
 )
 from repro.common.failpoints import FailpointRegistry
-from repro.common.keys import UserKey, encode_key
+from repro.common.keys import UserKey
 from repro.common.rid import RID
 from repro.common.stats import StatsRegistry
 from repro.btree.node import IndexPage
@@ -57,7 +58,7 @@ from repro.recovery.restart import RestartReport, run_restart
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
 from repro.storage.faults import FaultInjector
-from repro.storage.latch import LatchManager
+from repro.storage.latch import LatchManager, get_latch_monitor
 from repro.storage.page import Page
 from repro.txn.manager import TransactionManager
 from repro.txn.rm import ResourceManagerRegistry
@@ -126,6 +127,11 @@ class Database:
         self.recovery = None
         self._crashed = False
         self._closed = False
+        #: Paced background GC (config.mvcc_gc_interval_seconds > 0).
+        self._gc_stop: threading.Event | None = None
+        self._gc_thread: threading.Thread | None = None
+        if config.mvcc_enabled and config.mvcc_gc_interval_seconds > 0:
+            self._start_gc_pacer()
 
     def _make_latches(self) -> LatchManager:
         debug_max = 2 if self.config.debug_latch_checks else None
@@ -171,7 +177,7 @@ class Database:
         txn = self.begin()
         root_id = self.disk.allocate_page_id()
         root = IndexPage(root_id, index_id, level=0)
-        self.buffer.fix_new(root)
+        self.buffer.fix_new(root)  # noqa: RPR001 - unfixed below once the root is formatted and logged
         record = update_record(
             txn.txn_id,
             RM_BTREE,
@@ -226,8 +232,12 @@ class Database:
 
             def collect(page_id: int) -> None:
                 page = self.buffer.fix(page_id)
-                children = list(page.child_ids) if isinstance(page, IndexPage) else []
-                self.buffer.unfix(page_id)
+                try:
+                    children = (
+                        list(page.child_ids) if isinstance(page, IndexPage) else []
+                    )
+                finally:
+                    self.buffer.unfix(page_id)
                 page_ids.append(page_id)
                 for child in children:
                     collect(child)
@@ -276,6 +286,12 @@ class Database:
     def begin(self) -> Transaction:
         if self._closed:
             raise DatabaseClosedError("database is closed")
+        if self._crashed:
+            # Admitting a transaction before restart() rebuilds the
+            # txn-id space would hand out pre-crash ids (the fresh
+            # manager counts from 1 until analysis bumps it) — stowaway
+            # ids corrupt the next recovery's analysis pass.
+            raise DatabaseClosedError("database crashed; restart() required")
         return self.txns.begin()
 
     @contextmanager
@@ -318,6 +334,8 @@ class Database:
         next-key locks (latches only), and may not write."""
         if self._closed:
             raise DatabaseClosedError("database is closed")
+        if self._crashed:
+            raise DatabaseClosedError("database crashed; restart() required")
         if self.mvcc is None:
             raise ConfigError(
                 "snapshot reads need config.mvcc_enabled=True"
@@ -356,6 +374,34 @@ class Database:
         snapshot.  ``purge=True`` also frees sweepable ghost slots with
         redo-only log records (recovery- and replication-safe)."""
         return run_mvcc_gc(self, purge=purge)
+
+    # .. paced background GC (satellite of the analysis-suite PR) ..........
+
+    def _start_gc_pacer(self) -> None:
+        self._gc_stop = threading.Event()
+        self._gc_thread = threading.Thread(
+            target=self._gc_pacer_loop, name="mvcc-gc-pacer", daemon=True
+        )
+        self._gc_thread.start()
+
+    def _gc_pacer_loop(self) -> None:
+        stop = self._gc_stop
+        interval = self.config.mvcc_gc_interval_seconds
+        while not stop.wait(interval):
+            if self._crashed or self._closed:
+                continue
+            try:
+                self.mvcc_gc()
+                self.stats.incr("mvcc.gc_paced_passes")
+            except Exception:  # noqa: BLE001,RPR005 - GC races crashes; the pass is skipped and counted
+                self.stats.incr("mvcc.gc_paced_errors")
+
+    def _stop_gc_pacer(self) -> None:
+        if self._gc_stop is not None:
+            self._gc_stop.set()
+        if self._gc_thread is not None:
+            self._gc_thread.join(timeout=5.0)
+            self._gc_thread = None
 
     # internal hooks (write path + redo replay) ----------------------------
 
@@ -618,6 +664,7 @@ class Database:
         :class:`DatabaseClosedError`."""
         if self._closed:
             return
+        self._stop_gc_pacer()
         if not self._crashed:
             governor = self.recovery
             if governor is not None and not governor.drained:
@@ -628,12 +675,12 @@ class Database:
                 try:
                     if not governor.drain():
                         self.stats.incr("db.close_drain_failures")
-                except Exception:
+                except Exception:  # noqa: BLE001,RPR005 - close() must finish; failure is counted
                     self.stats.incr("db.close_drain_failures")
             for txn in self.txns.active_transactions():
                 try:
                     self.rollback(txn)
-                except Exception:
+                except Exception:  # noqa: BLE001,RPR005 - best-effort shutdown, counted below
                     # Best effort: a wedged transaction must not block
                     # shutdown of everything else.
                     self.stats.incr("db.close_rollback_errors")
@@ -689,11 +736,20 @@ class Database:
         self.disk.crash()
         self.buffer.crash()
         self.latches = self._make_latches()
+        monitor = get_latch_monitor()
+        if monitor is not None:
+            # Releases for latches held at the crash instant will never
+            # arrive (the table above was replaced wholesale).
+            monitor.reset_all_held()
         self.locks = LockManager(
             self.stats,
             timeout=self.config.lock_timeout_seconds,
             deadlock_detection=self.config.deadlock_detection,
         )
+        # Retire the old manager *before* replacing it: a thread parked
+        # inside its commit when the crash landed must not append stale
+        # COMMIT/END records once restart resumes the shared log.
+        self.txns.halt()
         self.txns = TransactionManager(self.log, self.locks, self.rm_registry, self.stats)
         if self.mvcc is not None:
             # Snapshots and the commit table were volatile; restart
@@ -756,6 +812,9 @@ class Database:
         quiesced — the server is aborted, no application thread is
         live — so empty tables are always the correct state here."""
         self.latches = self._make_latches()
+        monitor = get_latch_monitor()
+        if monitor is not None:
+            monitor.reset_all_held()
         self.locks = LockManager(
             self.stats,
             timeout=self.config.lock_timeout_seconds,
@@ -784,7 +843,7 @@ class Database:
         for page_id in sorted(page_ids):
             try:
                 page = self.buffer.fix(page_id)
-            except Exception:
+            except Exception:  # noqa: BLE001,RPR005 - unreadable page: heap rebuild skips it
                 continue
             try:
                 if isinstance(page, HeapPage):

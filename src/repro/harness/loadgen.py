@@ -314,7 +314,7 @@ class _Worker:
         report = self.report
         try:
             client = self.connect()
-        except Exception as exc:  # noqa: BLE001 - report, don't die silently
+        except Exception as exc:  # noqa: BLE001,RPR005 - report, don't die silently
             report.errors["connect:" + type(exc).__name__] = 1
             return
         issued = 0
@@ -350,13 +350,13 @@ class _Worker:
         finally:
             try:
                 client.close()
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001,RPR005 - best-effort rollback after harness stop
                 pass
 
     def _try_rollback(self, client: DatabaseClient) -> None:
         try:
             client.rollback()
-        except Exception:  # noqa: BLE001 - nothing was open / already aborted
+        except Exception:  # noqa: BLE001,RPR005 - nothing was open / already aborted
             pass
 
 

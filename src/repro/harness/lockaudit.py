@@ -57,7 +57,7 @@ def audit_operation(db: Database, label: str, fn) -> list[AuditRow]:
         try:
             fn(txn)
             db.commit(txn)
-        except Exception:
+        except Exception:  # noqa: BLE001,RPR005 - audit probe: roll back and keep the trace
             db.rollback(txn)
     grouped: dict[tuple[str, str, str], int] = {}
     for entry in probe.entries:

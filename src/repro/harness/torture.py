@@ -33,8 +33,45 @@ from repro.common.errors import (
     PermanentIOError,
     UniqueKeyViolationError,
 )
+from repro.analysis.lockgraph import LatchOrderMonitor
+from repro.analysis.walcheck import check_log
 from repro.db import Database
 from repro.storage.faults import FaultInjector, FaultPlan
+from repro.storage.latch import get_latch_monitor, set_latch_monitor
+
+
+def enable_lockgraph() -> LatchOrderMonitor:
+    """Install a fresh latch-order monitor scoped to the round's database.
+
+    Every round then doubles as a deadlock-freedom proof: the monitor
+    records the acquired-while-held graph over the database's whole
+    lifetime (crash/restart included) and the round asserts it stays
+    acyclic over the blocking edges.  The scope is one database, not
+    the process: page-id latch names are only meaningful within a
+    single database, so merging graphs across rounds would fabricate
+    edges (page 6 of one tree shape versus page 6 of another) and with
+    them false cycles.  Call this *before* constructing the round's
+    Database — its latch tables capture the installed monitor at
+    construction, which is what keeps other databases' (leaked
+    background) threads out of this round's graph."""
+    monitor = LatchOrderMonitor()
+    set_latch_monitor(monitor)
+    return monitor
+
+
+def _check_analysis(db: Database, seed: int, label: str) -> None:
+    """End-of-round analysis gates: the surviving log verifies clean
+    and the latch-order graph stays acyclic."""
+    wal = check_log(db.log)
+    _check(
+        wal.ok,
+        seed,
+        f"{label}: walcheck failed: "
+        + "; ".join(f.format() for f in wal.findings[:5]),
+    )
+    monitor = get_latch_monitor()
+    if monitor is not None:
+        monitor.assert_acyclic()
 
 
 @dataclass(frozen=True)
@@ -128,6 +165,7 @@ def run_torture_round(spec: TortureSpec) -> TortureReport:
         latch_timeout_seconds=5.0,
     )
     report = TortureReport(seed=spec.seed)
+    enable_lockgraph()
 
     # Build the schema and the seed rows before arming any fault: the
     # round's story starts from a known-good committed state.
@@ -227,6 +265,7 @@ def run_torture_round(spec: TortureSpec) -> TortureReport:
     db.crash()
     db.restart()
     _verify_state(db, committed, spec.seed, "second restart")
+    _check_analysis(db, spec.seed, "torture round")
     return report
 
 
@@ -251,9 +290,10 @@ def run_torture(
 #
 #   * every ACKED commit (the client got a success response) survives
 #     restart;
-#   * every commit the server answered with CommitNotDurableError (the
-#     crash beat the batched flush) did NOT survive — it was never
-#     acknowledged, so recovery rolled it back;
+#   * every commit the server answered with CommitNotDurableError was
+#     never acknowledged and is in-doubt: usually the crash beat the
+#     batched flush and recovery rolled it back, but the flush (or a
+#     restart racing the commit) may have made it durable anyway;
 #   * responses that never arrived (connection died mid-request) are
 #     indeterminate, like any networked database's in-doubt window.
 #
@@ -335,7 +375,7 @@ class _SessionWorker:
 
         try:
             client = self.server.connect_loopback()
-        except Exception:  # noqa: BLE001 - server already stopping
+        except Exception:  # noqa: BLE001,RPR005 - server already stopping
             return
         spec = self.spec
         try:
@@ -363,10 +403,17 @@ class _SessionWorker:
                     self.state[key] = False
                     self.unknown.discard(key)
                     self.acked += 1
-                except (CommitNotDurableError, LogHaltedError):
-                    # Definite NO: the commit record died with the
-                    # volatile tail, recovery rolls the attempt back.
+                except LogHaltedError:  # noqa: RPR005 - outcome recorded as lost
+                    # Definite NO: the append itself was refused, so no
+                    # commit record exists to survive.
                     self.lost += 1
+                except CommitNotDurableError:  # noqa: RPR005 - outcome recorded as in-doubt
+                    # Almost always the record died with the volatile
+                    # tail — but a crash can land *after* the batched
+                    # flush covered it (or race a commit straddling
+                    # restart), so the contract is in-doubt, not no.
+                    self.lost += 1
+                    self.unknown.add(key)
                 except (DatabaseClosedError, ServerShutdownError):
                     return  # rejected before execution: no state change
                 except (ServerError, DeadlockError, LockTimeoutError):
@@ -375,14 +422,14 @@ class _SessionWorker:
                     self.unknown.add(key)
                     if client.closed:
                         return
-                except Exception:  # noqa: BLE001 - post-crash wreckage
+                except Exception:  # noqa: BLE001,RPR005 - post-crash wreckage
                     # Anything else is in doubt too; stop issuing.
                     self.unknown.add(key)
                     return
         finally:
             try:
                 client.close()
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001,RPR005 - client already torn down with the crash
                 pass
 
 
@@ -410,7 +457,7 @@ class _SnapshotReader:
 
         try:
             client = self.server.connect_loopback()
-        except Exception:  # noqa: BLE001 - server already stopping
+        except Exception:  # noqa: BLE001,RPR005 - server already stopping
             return
         spec = self.spec
         try:
@@ -429,12 +476,12 @@ class _SnapshotReader:
                     self.reads += 1
                 except ServerError:
                     return  # engine crashed / server stopping
-                except Exception:  # noqa: BLE001 - post-crash wreckage
+                except Exception:  # noqa: BLE001,RPR005 - post-crash wreckage
                     return
         finally:
             try:
                 client.close()
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001,RPR005 - client already torn down with the crash
                 pass
 
 
@@ -461,7 +508,11 @@ def run_multisession_round(spec: MultiSessionSpec) -> MultiSessionReport:
         group_commit_max_wait_seconds=0.001,
         lock_timeout_seconds=1.0,
         latch_timeout_seconds=5.0,
+        # Paced background GC races the client sessions, so the
+        # lockgraph monitor sees GC's latch orderings under load.
+        mvcc_gc_interval_seconds=0.02,
     )
+    enable_lockgraph()
     db = Database(config)
     db.create_table("t")
     db.create_index("t", "by_id", column="id", unique=True)
@@ -608,6 +659,7 @@ def run_multisession_round(spec: MultiSessionSpec) -> MultiSessionReport:
     )
     if spec.crash_mode == "graceful":
         server.abort()
+    _check_analysis(db, spec.seed, f"multisession {spec.crash_mode}")
     db.close()
     return report
 
@@ -638,7 +690,8 @@ def run_multisession(
 # with the acked commit set:
 #
 #   * every ACKED commit is visible on the promoted database;
-#   * every commit answered with CommitNotDurableError is absent;
+#   * every commit answered with CommitNotDurableError is in-doubt
+#     (never acknowledged; usually rolled back);
 #   * in-doubt responses (the line died mid-request) may go either way;
 #   * in ``sync`` mode the standby is promoted *without* draining the
 #     dead primary's remaining WAL — the synchronous commit gate alone
@@ -980,6 +1033,7 @@ def run_serve_while_recovering_round(
         ondemand_recovery_timeout_seconds=10.0,
     )
     report = ServeWhileRecoveringReport(seed=spec.seed)
+    enable_lockgraph()
 
     injector.disarm()
     db = Database(config, fault_injector=injector)
@@ -1031,7 +1085,7 @@ def run_serve_while_recovering_round(
             for page_id in flush_rng.sample(dirty, k=min(len(dirty), 2)):
                 try:
                     db.flush_page(page_id)
-                except Exception:  # noqa: BLE001 - racing with the load
+                except Exception:  # noqa: BLE001,RPR005 - racing with the load
                     pass
         time.sleep(0.001)
     db.crash()
@@ -1164,6 +1218,7 @@ def run_serve_while_recovering_round(
         spec.seed,
         "stop-the-world restart diverged from the instant-restart state",
     )
+    _check_analysis(db, spec.seed, "serve-while-recovering")
     db.close()
     return report
 
@@ -1288,7 +1343,7 @@ class _ClusterWorker:
         spec = self.spec
         try:
             client = self.cluster.client()
-        except Exception:  # noqa: BLE001 - cluster already crashing
+        except Exception:  # noqa: BLE001,RPR005 - cluster already crashing
             return
         try:
             for _ in range(spec.requests_per_session):
@@ -1305,11 +1360,11 @@ class _ClusterWorker:
                     except TwoPhaseAbortError:
                         # Definite NO: no durable commit decision exists.
                         self.cross[pair] = "aborted"
-                    except (CommitNotDurableError, LogHaltedError):
+                    except (CommitNotDurableError, LogHaltedError):  # noqa: RPR005 - in-doubt commit recorded as unknown
                         self.cross[pair] = "lost"
                     except (DatabaseClosedError, ServerShutdownError):
                         return
-                    except Exception:  # noqa: BLE001 - in doubt
+                    except Exception:  # noqa: BLE001,RPR005 - in doubt
                         # The attempt died before commit() closed the
                         # logical transaction (e.g. an insert hit the
                         # crashed shard): roll it back, or every later
@@ -1318,7 +1373,7 @@ class _ClusterWorker:
                         try:
                             if client._txn_open:
                                 client.rollback()
-                        except Exception:  # noqa: BLE001
+                        except Exception:  # noqa: BLE001,RPR005 - client already torn down with the crash
                             pass
                         if client.closed:
                             return
@@ -1346,7 +1401,7 @@ class _ClusterWorker:
                         self.state[key] = False
                         self.unknown.discard(key)
                         self.acked += 1
-                    except (CommitNotDurableError, LogHaltedError):
+                    except (CommitNotDurableError, LogHaltedError):  # noqa: RPR005 - in-doubt commit recorded as unknown
                         pass  # definite NO: acked state unchanged
                     except (DatabaseClosedError, ServerShutdownError,
                             ShardUnavailableError):
@@ -1355,13 +1410,13 @@ class _ClusterWorker:
                         self.unknown.add(key)
                         if client.closed:
                             return
-                    except Exception:  # noqa: BLE001 - post-crash wreckage
+                    except Exception:  # noqa: BLE001,RPR005 - post-crash wreckage
                         self.unknown.add(key)
                         return
         finally:
             try:
                 client.close()
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001,RPR005 - client already torn down with the crash
                 pass
 
 
@@ -1577,16 +1632,30 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="snapshot-reader sessions racing the writers",
     )
+    parser.add_argument(
+        "--lockgraph-dump",
+        default=None,
+        metavar="PATH",
+        help="write the last round's latch-order graph (JSON) here after the sweep",
+    )
     args = parser.parse_args(argv)
 
+    monitor = enable_lockgraph()
     base = MultiSessionSpec(
         sessions=args.sessions,
         requests_per_session=args.requests,
         snapshot_readers=args.snapshot_readers,
     )
-    reports = run_multisession(
-        range(args.first_seed, args.first_seed + args.seeds), base
-    )
+    try:
+        reports = run_multisession(
+            range(args.first_seed, args.first_seed + args.seeds), base
+        )
+    finally:
+        if args.lockgraph_dump:
+            # Each round installs its own database-scoped monitor; the
+            # dump is the graph of the last round that ran.
+            monitor = get_latch_monitor() or monitor
+            monitor.dump_json(args.lockgraph_dump)
     print(json.dumps([dataclasses.asdict(r) for r in reports], indent=2))
     return 0
 

@@ -129,7 +129,7 @@ class VersionStore:
         for page_id in list(table.heap.page_ids):
             try:
                 page = table.heap._fix_heap_page(page_id)
-            except Exception:
+            except Exception:  # noqa: BLE001,RPR005 - unreadable page: rebuild skips it
                 continue
             try:
                 ghosts = [

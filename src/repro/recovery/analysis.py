@@ -36,6 +36,13 @@ class AnalysisResult:
     """Floor carried by the newest checkpoint seen (0 if none recorded
     one); together with ``max_txn_id`` it re-establishes the no-reuse
     transaction-id floor without a full-history scan."""
+    ended_txn_ids: set[int] = field(default_factory=set)
+    """Transactions whose END record fell inside the analysis span.
+    The checkpoint-payload merge must not resurrect them: a fuzzy
+    checkpoint snapshots its transaction table *between* its begin and
+    end records, so a transaction that ends inside that window appears
+    both in the scan (which pops it at its END) and, stale, in the
+    payload."""
     page_heads: dict[int, int] = field(default_factory=dict)
     """Page → LSN of the newest record seen for it: the tail of each
     dirty page's per-page log chain, merged from the scan and the
@@ -116,6 +123,7 @@ def run_analysis(ctx: "Database") -> AnalysisResult:
                 txn.status = TxnStatus.ROLLING_BACK
             elif kind is RecordKind.END:
                 result.transactions.pop(record.txn_id, None)
+                result.ended_txn_ids.add(record.txn_id)
 
         if record.is_redoable and record.page_id is not None:
             result.dirty_pages.setdefault(record.page_id, record.lsn)
@@ -138,7 +146,7 @@ def _merge_checkpoint(result: AnalysisResult, payload: dict) -> None:
     checkpoint begin take precedence, so only fill gaps)."""
     for entry in payload.get("txn_table", ()):
         txn_id = entry["txn_id"]
-        if txn_id in result.transactions:
+        if txn_id in result.transactions or txn_id in result.ended_txn_ids:
             continue
         txn = Transaction(txn_id=txn_id)
         txn.status = TxnStatus(entry["status"])

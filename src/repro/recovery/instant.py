@@ -275,7 +275,7 @@ class RecoveryGovernor:
             # Lazy scrub: first touch integrity-checks the page (the
             # buffer read runs the CRC) and self-heals torn writes.
             try:
-                ctx.buffer.fix(page_id)
+                ctx.buffer.fix(page_id)  # noqa: RPR001 - unfixed on the next line; fix itself raises on corruption
                 ctx.buffer.unfix(page_id)
             except CorruptPageError:
                 rebuild_page_from_log(ctx, page_id)
@@ -318,7 +318,7 @@ class RecoveryGovernor:
                 return
             try:
                 self.ensure_recovered(page_id, background=True)
-            except Exception as exc:  # noqa: BLE001 - must not kill the drain
+            except Exception as exc:  # noqa: BLE001,RPR005 - must not kill the drain
                 if self._stop.is_set():
                     return
                 with self._mutex:

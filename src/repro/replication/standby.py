@@ -174,7 +174,7 @@ class Standby:
                 self.db.stats.incr("standby.disconnects")
                 try:
                     client.close()
-                except Exception:
+                except Exception:  # noqa: BLE001,RPR005 - socket already dead; reconnect loop continues
                     pass
                 self._client = None
 
@@ -383,7 +383,7 @@ class Standby:
         if client is not None:
             try:
                 client.close()
-            except Exception:
+            except Exception:  # noqa: BLE001,RPR005 - socket already dead; stop() must finish
                 pass
 
     def close(self) -> None:

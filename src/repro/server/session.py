@@ -149,7 +149,7 @@ class Session:
         if txn is not None and txn.is_active:
             try:
                 self.server.db.rollback(txn)
-            except Exception:
+            except Exception:  # noqa: BLE001,RPR005 - failure counted; restart will undo
                 # Engine may have crashed under us; restart will undo.
                 self.server.db.stats.incr("server.cleanup_rollback_errors")
         self.conn.close()
@@ -171,7 +171,7 @@ class Session:
             response = error_response(exc)
             response["txn_aborted"] = True
             return response
-        except Exception as exc:  # noqa: BLE001 - the wire needs *a* reply
+        except Exception as exc:  # noqa: BLE001,RPR005 - the wire needs *a* reply
             return error_response(exc)
 
     def _execute_direct(self, request: dict) -> dict:
@@ -179,7 +179,7 @@ class Session:
         handler = self._direct_ops[request["op"]]
         try:
             return {"ok": True, "result": handler(request)}
-        except Exception as exc:  # noqa: BLE001 - the wire needs *a* reply
+        except Exception as exc:  # noqa: BLE001,RPR005 - the wire needs *a* reply
             return error_response(exc)
 
     def _abort_open_txn(self) -> None:
@@ -187,7 +187,7 @@ class Session:
         if txn is not None and txn.is_active:
             try:
                 self.server.db.rollback(txn)
-            except Exception:
+            except Exception:  # noqa: BLE001,RPR005 - failure counted; restart will undo
                 self.server.db.stats.incr("server.cleanup_rollback_errors")
 
     # -- transaction ops ---------------------------------------------------

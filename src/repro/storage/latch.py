@@ -23,10 +23,34 @@ are not starved.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import LatchError, LockNotGrantedError
 from repro.common.stats import StatsRegistry
+
+#: Optional process-wide observer (see repro.analysis.lockgraph).  Kept a
+#: plain module global so the hot path is one load + None check when off.
+_monitor = None
+
+#: Distinguishes "no monitor was captured" (fall through to the global)
+#: from "a monitor — possibly None — was captured at construction".
+_UNSET = object()
+
+
+def set_latch_monitor(monitor) -> None:
+    """Install (or clear, with None) the latch instrumentation hook.
+
+    The monitor sees every grant and full release:
+    ``note_acquire(name, mode, conditional=..., reentrant=..., instant=...)``
+    and ``note_release(name)``.  Opt-in: the default is no monitor and
+    zero overhead beyond a global load.
+    """
+    global _monitor
+    _monitor = monitor
+
+
+def get_latch_monitor():
+    return _monitor
 
 
 @dataclass
@@ -36,14 +60,32 @@ class _Hold:
 
 
 class Latch:
-    """One S/X latch."""
+    """One S/X latch.
 
-    def __init__(self, name: object, stats: StatsRegistry | None = None) -> None:
+    ``monitor`` pins the observer this latch reports to.  Latches made
+    by a :class:`LatchManager` inherit the monitor captured when the
+    manager was built, so a latch always reports to the observer of
+    *its own* database — a leaked background thread from another
+    database can never write its (colliding) page-id orderings into a
+    later round's graph.  Bare latches leave it unset and follow the
+    process-wide hook, which is what the unit tests want.
+    """
+
+    def __init__(
+        self,
+        name: object,
+        stats: StatsRegistry | None = None,
+        monitor: object = _UNSET,
+    ) -> None:
         self.name = name
         self._stats = stats or StatsRegistry(enabled=False)
         self._cond = threading.Condition()
         self._holders: dict[int, _Hold] = {}
         self._x_waiters = 0
+        self._monitor = monitor
+
+    def _observer(self):
+        return _monitor if self._monitor is _UNSET else self._monitor
 
     # -- internals -----------------------------------------------------------
 
@@ -69,7 +111,13 @@ class Latch:
 
     # -- API -------------------------------------------------------------------
 
-    def acquire(self, mode: str, conditional: bool = False, timeout: float = 30.0) -> None:
+    def acquire(
+        self,
+        mode: str,
+        conditional: bool = False,
+        timeout: float = 30.0,
+        _instant: bool = False,
+    ) -> None:
         """Acquire in ``mode`` ('S' or 'X').
 
         Conditional requests raise
@@ -82,6 +130,7 @@ class Latch:
         owner = self._owner()
         with self._cond:
             held = self._holders.get(owner)
+            reentrant = held is not None
             if held is not None and mode == "X" and held.mode == "S":
                 raise LatchError(f"latch {self.name!r}: S→X upgrade attempted")
             if not self._grantable(owner, mode):
@@ -113,9 +162,19 @@ class Latch:
         self._stats.incr("latch.acquisitions")
         self._stats.incr(f"latch.acquisitions.{mode}")
         self._stats.record_latch(owner, self.name, mode)
+        monitor = self._observer()
+        if monitor is not None:
+            monitor.note_acquire(
+                self.name,
+                mode,
+                conditional=conditional,
+                reentrant=reentrant,
+                instant=_instant,
+            )
 
     def release(self) -> None:
         owner = self._owner()
+        fully_released = False
         with self._cond:
             held = self._holders.get(owner)
             if held is None:
@@ -123,14 +182,18 @@ class Latch:
             held.count -= 1
             if held.count == 0:
                 del self._holders[owner]
+                fully_released = True
             self._cond.notify_all()
+        monitor = self._observer()
+        if monitor is not None and fully_released:
+            monitor.note_release(self.name)
 
     def instant(self, mode: str, conditional: bool = False, timeout: float = 30.0) -> None:
         """Instant-duration acquisition: wait until grantable, then let go.
 
         Used on the tree latch to wait out an in-progress SMO (§2.1).
         """
-        self.acquire(mode, conditional=conditional, timeout=timeout)
+        self.acquire(mode, conditional=conditional, timeout=timeout, _instant=True)  # noqa: RPR001 - released on the next line (instant duration)
         self.release()
         self._stats.incr("latch.instant")
 
@@ -168,12 +231,17 @@ class LatchManager:
         self._held_pages = threading.local()
         self._debug_max = debug_max_page_latches
         self.timeout = timeout
+        # Captured once: this table's latches report to the monitor in
+        # force when the table was built (see Latch docstring).  Crash
+        # rebuilds the table mid-lifetime and recaptures the same
+        # round's monitor; a later round's monitor never sees it.
+        self._monitor = get_latch_monitor()
 
     def page_latch(self, page_id: int) -> Latch:
         with self._mutex:
             latch = self._page_latches.get(page_id)
             if latch is None:
-                latch = Latch(("page", page_id), self._stats)
+                latch = Latch(("page", page_id), self._stats, monitor=self._monitor)
                 self._page_latches[page_id] = latch
             return latch
 
@@ -181,7 +249,7 @@ class LatchManager:
         with self._mutex:
             latch = self._tree_latches.get(index_id)
             if latch is None:
-                latch = Latch(("tree", index_id), self._stats)
+                latch = Latch(("tree", index_id), self._stats, monitor=self._monitor)
                 self._tree_latches[index_id] = latch
             return latch
 
@@ -198,7 +266,7 @@ class LatchManager:
         self, page_id: int, mode: str, conditional: bool = False
     ) -> Latch:
         latch = self.page_latch(page_id)
-        latch.acquire(mode, conditional=conditional, timeout=self.timeout)
+        latch.acquire(mode, conditional=conditional, timeout=self.timeout)  # noqa: RPR001 - ownership transfer: caller unlatches
         held = self._held_set()
         held.add(page_id)
         if self._debug_max is not None and len(held) > self._debug_max:
@@ -218,5 +286,12 @@ class LatchManager:
         return set(self._held_set())
 
     def reset_thread_state(self) -> None:
-        """Drop this thread's held-page bookkeeping (crash cleanup)."""
+        """Drop this thread's held-page bookkeeping (crash cleanup).
+
+        A crash replaces the latch table wholesale, so releases for
+        anything held will never arrive — tell the monitor too.
+        """
         self._held_pages.pages = set()
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.reset_held()

@@ -273,7 +273,7 @@ def dump_versions(db: "Database") -> str:
         for page_id in list(table.heap.page_ids):
             try:
                 page = table.heap._fix_heap_page(page_id)
-            except Exception:  # noqa: BLE001 - page mid-recovery
+            except Exception:  # noqa: BLE001,RPR005 - page mid-recovery
                 continue
             try:
                 ghosts += sum(
@@ -335,3 +335,34 @@ def dump_recovery_progress(db: "Database") -> str:
     if faults:
         lines.append("-- injected faults --\n" + faults)
     return "\n".join(lines)
+
+
+def dump_lockgraph() -> str:
+    """The installed latch-order monitor's merged graph, one edge per
+    line, with a cycle verdict — or a note that no monitor is active
+    (see :func:`repro.harness.torture.enable_lockgraph`)."""
+    from repro.storage.latch import get_latch_monitor
+
+    monitor = get_latch_monitor()
+    if monitor is None:
+        return "(no latch-order monitor installed)"
+    data = monitor.to_dict()
+    lines = [f"latch acquisitions observed: {data['acquisitions']}"]
+    for edge in data["edges"]:
+        marker = "=>" if edge["blocking"] else "->"
+        lines.append(
+            f"  {edge['src']} {marker} {edge['dst']}  [{edge['kind']}]"
+        )
+    if data["cycle"]:
+        lines.append("CYCLE (potential deadlock): " + " -> ".join(data["cycle"]))
+    else:
+        lines.append("acyclic over blocking edges (deadlock-free orderings)")
+    return "\n".join(lines)
+
+
+def dump_walcheck(db: "Database") -> str:
+    """Run the offline WAL verifier over the live log and render its
+    report (see :mod:`repro.analysis.walcheck`)."""
+    from repro.analysis.walcheck import check_log
+
+    return check_log(db.log).format()

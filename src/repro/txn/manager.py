@@ -19,7 +19,11 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING
 
-from repro.common.errors import LogHaltedError, TransactionNotActiveError
+from repro.common.errors import (
+    CommitNotDurableError,
+    LogHaltedError,
+    TransactionNotActiveError,
+)
 from repro.common.stats import StatsRegistry
 from repro.locks.modes import LockDuration
 from repro.txn.rm import ResourceManagerRegistry
@@ -59,6 +63,7 @@ class TransactionManager:
         self._stats = stats or StatsRegistry(enabled=False)
         self._mutex = threading.Lock()
         self._next_txn_id = 1
+        self._halted = False
         self._table: dict[int, Transaction] = {}
         #: Optional synchronous-replication gate, called with the commit
         #: record's LSN after the transaction is locally durable and
@@ -71,6 +76,29 @@ class TransactionManager:
         #: a commit must have its snapshot timestamp before any reader
         #: can be exposed to its effects.
         self.on_commit = None
+
+    def halt(self) -> None:
+        """Retire this manager: its database crashed and a successor
+        owns the (resumed) log.  A thread still inside ``commit`` or
+        ``rollback`` with a pre-crash transaction must fail fast rather
+        than append stale records — the log itself is halted only until
+        ``restart`` resumes it, which can happen *while* such a zombie
+        is parked between its COMMIT append and its END append."""
+        self._halted = True
+
+    def _check_owned(self, txn: Transaction) -> None:
+        """Reject transaction handles this manager never issued.
+
+        A crash replaces the manager wholesale; a thread that began a
+        transaction before the crash and reaches ``db.commit`` after
+        ``restart`` would otherwise log COMMIT/END records for a txn id
+        the new incarnation may have re-ended or reused."""
+        with self._mutex:
+            if self._table.get(txn.txn_id) is not txn:
+                raise TransactionNotActiveError(
+                    f"txn {txn.txn_id} is not owned by this transaction "
+                    "manager (stale handle from before a crash?)"
+                )
 
     # -- transaction table ---------------------------------------------------
 
@@ -145,6 +173,11 @@ class TransactionManager:
 
     def log_for(self, txn: Transaction, record: LogRecord) -> int:
         """Chain ``record`` onto ``txn`` and append it to the log."""
+        if self._halted:
+            raise LogHaltedError(
+                f"transaction manager retired by a crash; txn "
+                f"{txn.txn_id} may not log through it"
+            )
         if txn.snapshot is not None:
             raise TransactionNotActiveError(
                 f"snapshot transaction {txn.txn_id} is read-only and may not log"
@@ -160,6 +193,7 @@ class TransactionManager:
     def commit(self, txn: Transaction) -> None:
         if not txn.is_active:
             raise TransactionNotActiveError(f"cannot commit {txn!r}")
+        self._check_owned(txn)
         wrote_data = txn.first_lsn != NULL_LSN
         commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id)
         commit_lsn = self.log_for(txn, commit)
@@ -169,6 +203,16 @@ class TransactionManager:
         # race — in which case the transaction was never acknowledged
         # and restart rolls it back.
         self._log.force_for_commit(txn.last_lsn)
+        if self._halted:
+            # A crash landed while this commit was in flight and the
+            # force above may have run against the *resumed* log (the
+            # record itself died in the volatile tail).  Whether the
+            # COMMIT made it is unknowable from here — never
+            # acknowledge; restart decides, as for any in-doubt commit.
+            raise CommitNotDurableError(
+                f"txn {txn.txn_id}: crash raced the commit; outcome "
+                "decided by restart"
+            )
         txn.status = TxnStatus.COMMITTED
         # Timestamp the commit (durable) before its locks drop: a
         # snapshot begun after the release must already see it.
@@ -211,6 +255,7 @@ class TransactionManager:
         """
         if not txn.is_active:
             raise TransactionNotActiveError(f"cannot prepare {txn!r}")
+        self._check_owned(txn)
         if txn.first_lsn == NULL_LSN:
             released = self._locks.release_all(txn.txn_id)
             self._stats.incr("txn.locks_released_at_commit", released)
@@ -231,6 +276,13 @@ class TransactionManager:
         # coordinator could commit a global transaction whose branch is
         # rolled back as a restart loser.
         self._log.force_for_commit(txn.last_lsn)
+        if self._halted:
+            # Same race as commit: the force may have run against the
+            # resumed log.  Vote no; a durable PREPARE is resolved by
+            # presumed-abort recovery.
+            raise CommitNotDurableError(
+                f"txn {txn.txn_id}: crash raced the prepare; vote withheld"
+            )
         txn.status = TxnStatus.PREPARED
         txn.gid = gid
         txn.prepare_lsn = prepare_lsn
@@ -295,6 +347,7 @@ class TransactionManager:
         """Total rollback."""
         if not txn.is_active:
             raise TransactionNotActiveError(f"cannot rollback {txn!r}")
+        self._check_owned(txn)
         rollback = LogRecord(
             kind=RecordKind.ROLLBACK, txn_id=txn.txn_id, undoable=False
         )

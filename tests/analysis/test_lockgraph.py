@@ -1,0 +1,231 @@
+"""Latch-order monitor: planted inversions are caught as cycles, and
+the re-entrancy edge cases of §2.1's protocol stay non-blocking."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.lockgraph import LatchOrderMonitor, LatchOrderViolation
+from repro.storage.latch import (
+    Latch,
+    LatchManager,
+    get_latch_monitor,
+    set_latch_monitor,
+)
+
+
+@pytest.fixture
+def monitor():
+    """Install a fresh monitor; restore whatever was there before."""
+    prev = get_latch_monitor()
+    fresh = LatchOrderMonitor()
+    set_latch_monitor(fresh)
+    yield fresh
+    set_latch_monitor(prev)
+
+
+def edge_map(monitor):
+    return {(e.src, e.dst): e for e in monitor.edges()}
+
+
+def test_planted_inversion_is_a_cycle(monitor):
+    """A→B in one place, B→A in another: the classic latch-order
+    inversion, detected even though this single-threaded run can never
+    actually deadlock."""
+    a, b = Latch("A"), Latch("B")
+    a.acquire("X")
+    b.acquire("X")
+    b.release()
+    a.release()
+    b.acquire("X")
+    a.acquire("X")
+    a.release()
+    b.release()
+    cycle = monitor.find_cycle()
+    assert cycle is not None
+    with pytest.raises(LatchOrderViolation) as excinfo:
+        monitor.assert_acyclic()
+    assert "A" in str(excinfo.value) and "B" in str(excinfo.value)
+
+
+def test_consistent_order_is_acyclic(monitor):
+    a, b = Latch("A"), Latch("B")
+    for _ in range(3):
+        a.acquire("S")
+        b.acquire("X")
+        b.release()
+        a.release()
+    monitor.assert_acyclic()
+    assert edge_map(monitor)[("A", "B")].blocking
+
+
+def test_instant_s_while_x_waiter_parked_is_nonblocking(monitor):
+    """An S holder may instant-S re-enter even while another thread's
+    X request is parked (re-entrant grants ignore pending writers), and
+    the monitor records that acquisition as non-blocking."""
+    a, b = Latch("A"), Latch("B")
+    a.acquire("S")
+    parked = threading.Event()
+
+    def want_x():
+        parked.set()
+        a.acquire("X", timeout=8.0)
+        a.release()
+
+    thread = threading.Thread(target=want_x)
+    thread.start()
+    parked.wait(timeout=8.0)
+    deadline = 200
+    while a._x_waiters == 0 and deadline:  # noqa: SLF001 - test peeks at park state
+        threading.Event().wait(0.005)
+        deadline -= 1
+    assert a._x_waiters == 1
+    b.acquire("X")  # hold a second latch so the instant creates an edge
+    a.instant("S")  # would deadlock here if the parked X blocked re-entry
+    b.release()
+    a.release()
+    thread.join(timeout=8.0)
+    assert not thread.is_alive()
+    edge = edge_map(monitor)[("B", "A")]
+    assert edge.kind == "reentrant"
+    assert not edge.blocking
+    monitor.assert_acyclic()
+
+
+def test_reentrant_downgrade_is_nonblocking(monitor):
+    """S requested under an own X hold (the equal-or-weaker re-entrant
+    grant an SMO's action routine relies on) never blocks, so the
+    reversed edge it would otherwise add must not close a cycle."""
+    a, b = Latch("A"), Latch("B")
+    a.acquire("X")
+    b.acquire("X")  # blocking edge A→B
+    a.acquire("S")  # re-entrant S under X, while holding B: edge B→A
+    a.release()
+    b.release()
+    a.release()
+    edges = edge_map(monitor)
+    assert edges[("A", "B")].blocking
+    assert edges[("B", "A")].kind == "reentrant"
+    assert not edges[("B", "A")].blocking
+    monitor.assert_acyclic()  # only the blocking direction counts
+
+
+def test_conditional_acquire_is_nonblocking(monitor):
+    """Conditional requests cannot wait, so a reversed conditional edge
+    (the 'try high while holding low, else release all and redo' idiom)
+    is not an inversion."""
+    a, b = Latch("A"), Latch("B")
+    a.acquire("X")
+    b.acquire("X", conditional=True)
+    b.release()
+    a.release()
+    b.acquire("X")
+    a.acquire("X", conditional=True)
+    a.release()
+    b.release()
+    assert monitor.find_cycle() is None
+    kinds = {key: e.kind for key, e in edge_map(monitor).items()}
+    assert kinds == {("A", "B"): "conditional", ("B", "A"): "conditional"}
+
+
+def test_reset_all_held_keeps_edges(monitor):
+    a, b = Latch("A"), Latch("B")
+    a.acquire("X")
+    b.acquire("X")
+    monitor.reset_all_held()  # simulated crash: releases never arrive
+    assert ("A", "B") in edge_map(monitor)
+    # Post-"restart" work in the same thread starts from a clean slate:
+    c = Latch("C")
+    c.acquire("X")
+    c.release()
+    assert ("A", "C") not in edge_map(monitor)
+    assert ("B", "C") not in edge_map(monitor)
+
+
+def test_ident_reuse_does_not_inherit_stale_holds(monitor):
+    """A thread may die *holding* latches (legal across a simulated
+    crash: its unwind path cannot release against a replaced table).
+    CPython reuses thread idents, so a later thread landing on the same
+    ident must not inherit the dead thread's held-set — that would
+    fabricate ordering edges out of unrelated work."""
+    x, y = Latch("X-page"), Latch("Y-page")
+
+    def die_holding():
+        x.acquire("X")  # noqa: RPR001 - the test *wants* a leaked hold
+
+    dead = threading.Thread(target=die_holding)
+    dead.start()
+    dead.join(timeout=8.0)
+    dead_ident = dead.ident
+    assert dead_ident is not None
+
+    reused = False
+    for _ in range(200):
+        hit = {"same": False}
+
+        def probe():
+            hit["same"] = threading.get_ident() == dead_ident
+            if hit["same"]:
+                y.acquire("X")
+                y.release()
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join(timeout=8.0)
+        if hit["same"]:
+            reused = True
+            break
+    if not reused:
+        pytest.skip("thread ident was never reused in 200 attempts")
+    assert ("X-page", "Y-page") not in edge_map(monitor)
+
+
+def test_manager_pins_the_monitor_captured_at_construction(monitor):
+    """A latch table reports to the monitor in force when it was built,
+    not to whatever is globally installed later: page-id latch names
+    collide across databases, so a leaked thread still driving an old
+    database must not write edges into a newer round's graph."""
+    old_table = LatchManager()  # captures `monitor`
+    set_latch_monitor(None)
+    orphan_table = LatchManager()  # captures no monitor at all
+    fresh = LatchOrderMonitor()
+    set_latch_monitor(fresh)
+    new_table = LatchManager()  # captures `fresh`
+
+    # The old database's thread keeps reporting to the old monitor ...
+    old_table.latch_page(1, "X")
+    old_table.latch_page(2, "X")
+    old_table.unlatch_page(2)
+    old_table.unlatch_page(1)
+    assert ((("page", 1)), (("page", 2))) in edge_map(monitor)
+    assert fresh.acquisitions == 0
+    # ... a monitor-less database reports nowhere ...
+    orphan_table.latch_page(3, "X")
+    orphan_table.unlatch_page(3)
+    assert fresh.acquisitions == 0
+    # ... and only the new database feeds the new graph.
+    new_table.latch_page(2, "X")
+    new_table.latch_page(1, "X")  # reversed: must not merge with old_table's
+    new_table.unlatch_page(1)
+    new_table.unlatch_page(2)
+    assert fresh.acquisitions == 2
+    fresh.assert_acyclic()
+    monitor.assert_acyclic()
+
+
+def test_dump_json_roundtrip(monitor, tmp_path):
+    import json
+
+    a, b = Latch("A"), Latch("B")
+    a.acquire("X")
+    b.acquire("X")
+    b.release()
+    a.release()
+    path = tmp_path / "graph.json"
+    monitor.dump_json(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["cycle"] is None
+    assert data["acquisitions"] == 2
+    assert [(e["src"], e["dst"]) for e in data["edges"]] == [("'A'", "'B'")]
