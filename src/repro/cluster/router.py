@@ -46,6 +46,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.client import ClusterClient
     from repro.cluster.cluster import Cluster
 
+#: Pipelined frames drained per connection read (the router executes
+#: inline, so this only bounds buffering, not engine concurrency).
+_MAX_BATCH = 64
+
 _UNSUPPORTED = {
     "savepoint": "savepoints are not supported through the cluster router",
     "rollback_to_savepoint": (
@@ -92,17 +96,19 @@ class RouterSession:
         try:
             while not self.closing:
                 try:
-                    request = self.conn.read_message()
+                    batch = self.conn.read_message_batch(_MAX_BATCH)
                 except ProtocolError as exc:
                     try:
                         self.conn.write_message(error_response(exc))
                     except OSError:
                         pass
                     break
-                if request is None:
+                if batch is None:
                     break
                 try:
-                    self.conn.write_message(self.execute(request))
+                    self.conn.write_messages(
+                        [self.execute(request) for request in batch]
+                    )
                 except OSError:
                     break
         except OSError:
@@ -113,19 +119,24 @@ class RouterSession:
     def execute(self, request: dict) -> dict:
         op = request.get("op")
         if isinstance(op, str) and op in _UNSUPPORTED:
-            return error_response(SessionStateError(_UNSUPPORTED[op]))
+            response = error_response(SessionStateError(_UNSUPPORTED[op]))
+            response["corr_id"] = request.get("corr_id", 0)
+            return response
         handler = self._ops.get(op) if isinstance(op, str) else None
         if handler is None:
-            return error_response(ProtocolError(f"unknown op {op!r}"))
+            response = error_response(ProtocolError(f"unknown op {op!r}"))
+            response["corr_id"] = request.get("corr_id", 0)
+            return response
         try:
-            return {"ok": True, "result": handler(request)}
+            response = {"ok": True, "result": handler(request)}
         except Exception as exc:  # noqa: BLE001,RPR005 - the wire needs *a* reply
             response = error_response(exc)
             # A failed cluster commit/abort leaves no open transaction.
             if self._txn_id is not None and not self.backend._txn_open:
                 self._txn_id = None
                 response["txn_aborted"] = True
-            return response
+        response["corr_id"] = request.get("corr_id", 0)
+        return response
 
     def cleanup(self) -> None:
         if self._txn_id is not None:
@@ -271,16 +282,18 @@ class ShardRouter:
             raise ServerShutdownError("router is not listening")
         return self._address
 
-    def connect(self, timeout: float | None = 30.0) -> DatabaseClient:
+    def connect(
+        self, timeout: float | None = 30.0, protocol: str | None = None
+    ) -> DatabaseClient:
         host, port = self.address
-        return DatabaseClient.connect(host, port, timeout=timeout)
+        return DatabaseClient.connect(host, port, timeout=timeout, protocol=protocol)
 
-    def connect_loopback(self) -> DatabaseClient:
+    def connect_loopback(self, protocol: str | None = None) -> DatabaseClient:
         if self._stopping or not self._started:
             raise ServerShutdownError("router is not accepting sessions")
         server_end, client_end = loopback_pair()
         self._spawn_session(server_end)
-        return DatabaseClient(FrameConn(client_end))
+        return DatabaseClient(FrameConn(client_end), protocol=protocol)
 
     def _spawn_session(self, transport: SocketTransport) -> RouterSession:
         session = RouterSession(

@@ -64,6 +64,12 @@ class DatabaseConfig:
     group_commit_max_wait_seconds: float = 0.002
     """Flush no later than this after the first commit of a batch parks
     (bounds added commit latency)."""
+    log_flush_latency_seconds: float = 0.0
+    """Simulated device latency charged per synchronous log flush
+    (0 disables).  The in-memory log makes flushes free, which hides
+    the cost group commit exists to amortize; benchmarks set this to a
+    realistic fsync latency so one-force-per-commit pays per commit
+    while a coalesced flush pays once per batch."""
 
     mvcc_enabled: bool = True
     """Maintain version stamps and serve lock-free snapshot reads
@@ -111,6 +117,8 @@ class DatabaseConfig:
             raise ConfigError("group_commit_max_batch must be at least 1")
         if self.group_commit_max_wait_seconds < 0:
             raise ConfigError("group_commit_max_wait_seconds must be >= 0")
+        if self.log_flush_latency_seconds < 0:
+            raise ConfigError("log_flush_latency_seconds must be >= 0")
         if self.io_retry_backoff_seconds < 0:
             raise ConfigError("io_retry_backoff_seconds must be >= 0")
         if self.mvcc_gc_interval_seconds < 0:

@@ -60,7 +60,7 @@ from repro.storage.disk import DiskManager
 from repro.storage.faults import FaultInjector
 from repro.storage.latch import LatchManager, get_latch_monitor
 from repro.storage.page import Page
-from repro.txn.manager import TransactionManager
+from repro.txn.manager import PendingCommit, TransactionManager
 from repro.txn.rm import ResourceManagerRegistry
 from repro.txn.transaction import Transaction
 from repro.wal.log import LogManager
@@ -83,6 +83,7 @@ class Database:
             fault_injector.attach_stats(self.stats)
         self.disk = DiskManager(config.page_size, self.stats, fault_injector)
         self.log = LogManager(self.stats)
+        self.log.flush_latency_seconds = config.log_flush_latency_seconds
         if config.group_commit:
             self.log.start_group_commit(
                 config.group_commit_max_batch,
@@ -318,6 +319,23 @@ class Database:
             self.end_snapshot(txn)
             return
         self.txns.commit(txn)
+        self._maybe_checkpoint()
+
+    def commit_deferred(self, txn: Transaction) -> PendingCommit | None:
+        """Append the COMMIT record but defer the durability force and
+        lock release so a server batch can coalesce many commits into
+        one flush.  Snapshot and read-only transactions complete
+        immediately and return None; any returned handle must be passed
+        to :meth:`finish_deferred`."""
+        if txn.snapshot is not None:
+            self.end_snapshot(txn)
+            return None
+        return self.txns.commit_deferred(txn)
+
+    def finish_deferred(self, pendings: list[PendingCommit | None]) -> None:
+        """Complete deferred commits under one coalesced log force;
+        each handle's outcome lands on its ``error`` field."""
+        self.txns.finish_deferred([p for p in pendings if p is not None])
         self._maybe_checkpoint()
 
     def rollback(self, txn: Transaction) -> None:

@@ -68,6 +68,15 @@ class LoadgenSpec:
     snapshot_reads: bool = False
     """Issue fetches and scans at ``isolation="snapshot"`` (zero record
     and next-key locks) instead of the default locking read path."""
+    pipeline_depth: int = 1
+    """1 = strict request/response per op; > 1 = queue this many
+    autocommit ops per pipeline flush (one batched write, server-side
+    batch execution).  Applies when ``ops_per_txn == 1``; explicit
+    transactions keep the strict loop."""
+    protocol: str | None = None
+    """Wire protocol for CLI-created clients: ``binary`` (v2, default)
+    or ``json`` (v1).  Callers of :func:`run_loadgen` encode the choice
+    in their ``connect`` callable instead."""
 
     def __post_init__(self) -> None:
         if self.read_fraction is not None:
@@ -88,6 +97,8 @@ class LoadgenSpec:
             raise ValueError(f"operation fractions sum to {total}, not 1.0")
         if self.workers < 1 or self.ops_per_txn < 1:
             raise ValueError("workers and ops_per_txn must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         if self.skew < 0:
             raise ValueError("skew must be >= 0")
 
@@ -217,6 +228,7 @@ class LoadgenReport:
         return {
             "workers": self.spec.workers,
             "ops_per_txn": self.spec.ops_per_txn,
+            "pipeline_depth": self.spec.pipeline_depth,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "requests": self.requests,
             "throughput_rps": round(self.throughput_rps, 1),
@@ -304,6 +316,54 @@ class _Worker:
             report.requests += 1
             report.op_counts[kind] = report.op_counts.get(kind, 0) + 1
 
+    def _issue_pipelined(self, client: DatabaseClient, ops: list) -> None:
+        """Queue ``ops`` on one pipeline, flush once, settle futures.
+
+        Every op in the flush shares the same wall-clock window, so each
+        records the full flush latency — the time its caller actually
+        waited."""
+        spec = self.spec
+        report = self.report
+        isolation = "snapshot" if spec.snapshot_reads else "rr"
+        start = time.perf_counter()
+        pipe = client.pipeline(depth=len(ops) + 1)
+        futures = []
+        for kind, key in ops:
+            if kind == "fetch":
+                future = pipe.fetch(spec.table, spec.index, key, isolation=isolation)
+            elif kind == "insert":
+                future = pipe.insert(
+                    spec.table, {spec.key_column: key, "pad": "v" * spec.value_size}
+                )
+            elif kind == "delete":
+                future = pipe.delete_by_key(spec.table, spec.index, key)
+            else:
+                future = pipe.request(
+                    "scan",
+                    table=spec.table,
+                    index=spec.index,
+                    low=key,
+                    high=key + spec.scan_length,
+                    isolation=isolation,
+                )
+            futures.append((kind, future))
+        pipe.flush()
+        elapsed = time.perf_counter() - start
+        for kind, future in futures:
+            error = future.error
+            if error is None:
+                pass
+            elif isinstance(error, (UniqueKeyViolationError, KeyNotFoundError)):
+                report.statement_misses += 1
+            elif isinstance(error, (DeadlockError, LockTimeoutError)):
+                report.txn_aborts += 1
+            else:
+                name = getattr(error, "kind", None) or type(error).__name__
+                report.errors[name] = report.errors.get(name, 0) + 1
+            report.latency.add(elapsed)
+            report.requests += 1
+            report.op_counts[kind] = report.op_counts.get(kind, 0) + 1
+
     def _done(self, issued: int) -> bool:
         if self.stop_at is not None:
             return time.perf_counter() >= self.stop_at
@@ -318,8 +378,20 @@ class _Worker:
             report.errors["connect:" + type(exc).__name__] = 1
             return
         issued = 0
+        pipelined = spec.pipeline_depth > 1 and spec.ops_per_txn == 1
         try:
             while not self._done(issued):
+                if pipelined:
+                    ops = [self._next_op() for _ in range(spec.pipeline_depth)]
+                    try:
+                        self._issue_pipelined(client, ops)
+                    except ServerError as exc:
+                        kind = getattr(exc, "kind", type(exc).__name__)
+                        report.errors[kind] = report.errors.get(kind, 0) + 1
+                        if client.closed:
+                            return  # connection gone; this worker is done
+                    issued += len(ops)
+                    continue
                 batch = [self._next_op() for _ in range(spec.ops_per_txn)]
                 try:
                     if spec.ops_per_txn == 1:
@@ -430,6 +502,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help='issue reads at isolation="snapshot" (zero locks)',
     )
+    parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=1,
+        help="autocommit ops queued per pipeline flush (1 = no pipelining)",
+    )
+    parser.add_argument(
+        "--protocol",
+        choices=("binary", "json"),
+        default=None,
+        help="wire protocol: binary (v2, default) or json (v1)",
+    )
     args = parser.parse_args(argv)
 
     spec = LoadgenSpec(
@@ -441,9 +525,14 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         read_fraction=args.read_fraction,
         snapshot_reads=args.snapshot_reads,
+        pipeline_depth=args.pipeline_depth,
+        protocol=args.protocol,
     )
     report = run_loadgen(
-        lambda: DatabaseClient.connect(args.host, args.port), spec
+        lambda: DatabaseClient.connect(
+            args.host, args.port, protocol=spec.protocol
+        ),
+        spec,
     )
     print(json.dumps(report.to_dict(), indent=2))
     return 0 if not report.errors else 1

@@ -1,9 +1,11 @@
 """Client library for the database server.
 
-Speaks the length-prefixed JSON protocol over TCP or an in-process
+Speaks wire protocol v2 (binary frames, the default) or v1
+(length-prefixed JSON, ``protocol="json"``) over TCP or an in-process
 loopback transport; server-reported errors are re-raised as the
 matching library exception class (``UniqueKeyViolationError`` on the
-server is ``UniqueKeyViolationError`` here).
+server is ``UniqueKeyViolationError`` here, and over v2 structured
+fields like a deadlock's victim and cycle survive the trip).
 
 One client = one session = at most one open transaction::
 
@@ -13,18 +15,48 @@ One client = one session = at most one open transaction::
     row = client.fetch("accounts", "by_id", 7)   # autocommit read
     client.close()
 
+Pipelining (v2): queue many requests, send them in one write, and let
+the server batch-execute them — each queued op returns a future::
+
+    with client.pipeline() as pipe:
+        futures = [pipe.insert("accounts", row) for row in rows]
+    results = [f.result() for f in futures]   # or f.error
+
+The default protocol honours the ``REPRO_WIRE_PROTOCOL`` environment
+variable (``binary`` or ``json``) so a whole test suite can be pointed
+at either version without code changes.
+
 Clients are **not** thread-safe — one per worker thread (each gets its
 own server session, which is the unit of concurrency server-side).
 """
 
 from __future__ import annotations
 
+import os
 import socket
 from contextlib import contextmanager
 from typing import Iterator
 
-from repro.common.errors import ServerError
-from repro.server.protocol import FrameConn, SocketTransport, raise_from_response
+from repro.codec.errors import rebuild_error
+from repro.common.errors import ProtocolError, ServerError
+from repro.server.protocol import (
+    PROTOCOL_V2,
+    FrameConn,
+    SocketTransport,
+    raise_from_response,
+)
+
+_PROTOCOL_ENV = "REPRO_WIRE_PROTOCOL"
+
+
+def _resolve_protocol(protocol: str | None) -> str:
+    if protocol is None:
+        protocol = os.environ.get(_PROTOCOL_ENV, "binary")
+    if protocol not in ("binary", "json"):
+        raise ProtocolError(
+            f"unknown protocol {protocol!r} (want 'binary' or 'json')"
+        )
+    return protocol
 
 
 class RemoteTransaction:
@@ -36,20 +68,196 @@ class RemoteTransaction:
         self.txn_id = txn_id
 
 
+class PipelineFuture:
+    """The eventual response of one pipelined request."""
+
+    __slots__ = ("op", "done", "_result", "_error")
+
+    def __init__(self, op: str) -> None:
+        self.op = op
+        self.done = False
+        self._result: object = None
+        self._error: Exception | None = None
+
+    def _settle(self, response: dict) -> None:
+        self.done = True
+        if response.get("ok"):
+            self._result = response.get("result")
+        else:
+            self._error = rebuild_error(response)
+
+    def _fail(self, error: Exception) -> None:
+        self.done = True
+        self._error = error
+
+    @property
+    def error(self) -> Exception | None:
+        """The op's failure, if any (flushed futures only)."""
+        return self._error
+
+    def result(self) -> object:
+        """The op's result; raises its server-reported error."""
+        if not self.done:
+            raise ServerError(
+                f"pipelined {self.op!r} not flushed yet", kind="PipelineError"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class Pipeline:
+    """Queue requests, flush them as one batched write.
+
+    Created by :meth:`DatabaseClient.pipeline`.  Queued ops return
+    :class:`PipelineFuture`; :meth:`flush` (or queue pressure at
+    ``depth``, or clean context exit) sends every queued frame in one
+    write and resolves the futures from the responses — matched by
+    correlation id on v2, by order on v1.  While a pipeline has queued
+    ops, do not issue plain ``client.request`` calls — the reply stream
+    would interleave.
+    """
+
+    def __init__(self, client: "DatabaseClient", depth: int = 64) -> None:
+        if depth < 1:
+            raise ProtocolError("pipeline depth must be at least 1")
+        self._client = client
+        self._depth = depth
+        self._queued: list[tuple[dict, PipelineFuture]] = []
+
+    def request(self, op: str, **args: object) -> PipelineFuture:
+        """Queue one op; auto-flushes at the pipeline's depth."""
+        client = self._client
+        if client.closed:
+            raise ServerError("client is closed", kind="ClientClosed")
+        message = {"op": op, "corr_id": client._next_corr_id(), **args}
+        future = PipelineFuture(op)
+        self._queued.append((message, future))
+        if len(self._queued) >= self._depth:
+            self.flush()
+        return future
+
+    def flush(self) -> None:
+        """Send every queued request, read every response, settle the
+        futures (errors land on the future, not here)."""
+        queued, self._queued = self._queued, []
+        if not queued:
+            return
+        client = self._client
+        try:
+            client._conn.write_messages([m for m, _ in queued])
+            responses = []
+            for _ in queued:
+                response = client._conn.read_message()
+                if response is None:
+                    raise ServerError(
+                        "server closed the connection mid-pipeline",
+                        kind="ConnectionLost",
+                    )
+                responses.append(response)
+        except (OSError, socket.timeout) as exc:
+            client._closed = True
+            error = ServerError(
+                f"connection lost during pipeline flush: {exc}",
+                kind="ConnectionLost",
+            )
+            for _, future in queued:
+                future._fail(error)
+            raise error from exc
+        except ServerError as error:
+            client._closed = True
+            for _, future in queued:
+                future._fail(error)
+            raise
+        if client.protocol_version == PROTOCOL_V2:
+            by_id = {r.get("corr_id"): r for r in responses}
+            for message, future in queued:
+                response = by_id.get(message["corr_id"])
+                if response is None:
+                    future._fail(
+                        ProtocolError(
+                            f"no response for correlation id {message['corr_id']}"
+                        )
+                    )
+                else:
+                    future._settle(response)
+        else:
+            for (_, future), response in zip(queued, responses):
+                future._settle(response)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queued)
+
+    # Convenience stubs mirroring the client's op surface.
+
+    def begin(self) -> PipelineFuture:
+        return self.request("begin")
+
+    def commit(self) -> PipelineFuture:
+        return self.request("commit")
+
+    def rollback(self) -> PipelineFuture:
+        return self.request("rollback")
+
+    def ping(self) -> PipelineFuture:
+        return self.request("ping")
+
+    def insert(self, table: str, row: dict) -> PipelineFuture:
+        return self.request("insert", table=table, row=row)
+
+    def fetch(
+        self, table: str, index: str, key: object, isolation: str = "rr"
+    ) -> PipelineFuture:
+        return self.request(
+            "fetch", table=table, index=index, key=key, isolation=isolation
+        )
+
+    def delete_by_key(self, table: str, index: str, key: object) -> PipelineFuture:
+        return self.request("delete", table=table, index=index, key=key)
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is None:
+            self.flush()
+        else:
+            # Abandon what was never sent; anything already flushed has
+            # settled its futures.
+            self._queued.clear()
+
+
 class DatabaseClient:
     """One session against a :class:`~repro.server.server.DatabaseServer`."""
 
-    def __init__(self, conn: FrameConn) -> None:
+    def __init__(self, conn: FrameConn, protocol: str | None = None) -> None:
         self._conn = conn
         self._closed = False
+        self._corr = 0
+        if _resolve_protocol(protocol) == "binary":
+            conn.start_client_v2()
 
     @classmethod
     def connect(
-        cls, host: str, port: int, timeout: float | None = 30.0
+        cls,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        protocol: str | None = None,
     ) -> "DatabaseClient":
         sock = socket.create_connection((host, port), timeout=timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return cls(FrameConn(SocketTransport(sock)))
+        return cls(FrameConn(SocketTransport(sock)), protocol=protocol)
+
+    @property
+    def protocol_version(self) -> int:
+        """Negotiated wire version (1 = JSON, 2 = binary)."""
+        return self._conn.version
+
+    def _next_corr_id(self) -> int:
+        self._corr = (self._corr + 1) & 0xFFFFFFFF
+        return self._corr or 1
 
     # -- request plumbing --------------------------------------------------
 
@@ -58,7 +266,7 @@ class DatabaseClient:
         (or raise the server-reported error)."""
         if self._closed:
             raise ServerError("client is closed", kind="ClientClosed")
-        message = {"op": op, **args}
+        message = {"op": op, "corr_id": self._next_corr_id(), **args}
         try:
             self._conn.write_message(message)
             response = self._conn.read_message()
@@ -75,6 +283,12 @@ class DatabaseClient:
         if not response.get("ok"):
             raise_from_response(response)
         return response.get("result")
+
+    def pipeline(self, depth: int = 64) -> Pipeline:
+        """A request pipeline over this connection (see
+        :class:`Pipeline`).  ``depth`` bounds queued requests before an
+        automatic flush."""
+        return Pipeline(self, depth=depth)
 
     # -- transactions ------------------------------------------------------
 

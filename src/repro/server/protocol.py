@@ -1,11 +1,27 @@
-"""The wire protocol: length-prefixed JSON frames.
+"""The wire protocol: v2 binary frames, v1 length-prefixed JSON.
 
-One frame = a 4-byte big-endian length followed by that many bytes of
-UTF-8 JSON.  Requests are objects with an ``"op"`` key plus op-specific
-arguments; responses are ``{"ok": true, "result": ...}`` or
-``{"ok": false, "error": "<kind>", "message": "..."}`` where ``kind``
-is the library exception class name (the client re-raises the matching
-class, so ``UniqueKeyViolationError`` round-trips as itself).
+Protocol v2 (the default) is the struct-packed binary framing of
+:mod:`repro.codec.frames`: a 12-byte header (length, version, flags,
+opcode, correlation id) over the tagged value codec the WAL already
+uses.  Responses echo their request's correlation id, which is what
+makes client-side pipelining work.
+
+Protocol v1 is the original framing: a 4-byte big-endian length
+followed by that many bytes of UTF-8 JSON.  Requests are objects with
+an ``"op"`` key plus op-specific arguments; responses are
+``{"ok": true, "result": ...}`` or ``{"ok": false, "error": "<kind>",
+"message": "..."}``.
+
+Negotiation is a connection-open sniff: a v2 client sends the 4-byte
+``RPC2`` preamble plus a ``hello`` frame before anything else.  Read as
+a v1 length header, the preamble exceeds ``MAX_FRAME_BYTES`` — no legal
+v1 client can produce it — so the server peeks the first 4 bytes and
+speaks v1 or v2 per connection.  Old clients need zero changes.
+
+Both versions normalize to the same message dicts at this layer:
+requests are ``{"op": ..., "corr_id": ..., **args}`` and responses are
+``{"ok": ..., "corr_id": ..., ...}``, so the session and client code
+above are version-blind.
 
 Two transports speak it: a TCP socket on localhost and an in-process
 loopback built from :func:`socket.socketpair` — same framing, same
@@ -15,27 +31,46 @@ code path, no TCP stack in unit tests.
 from __future__ import annotations
 
 import json
+import select
 import socket
 import struct
 
-from repro.common import errors as _errors
-from repro.common.errors import ProtocolError, ServerError
+from repro.codec.errors import WIRE_ERRORS, error_payload, raise_from_payload
+from repro.codec.frames import (
+    FLAG_ERROR,
+    FLAG_RESPONSE,
+    HEADER_SIZE,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    encode_frame,
+    hello_ack_payload,
+    hello_payload,
+    try_parse_frame,
+)
+from repro.codec.ops import OP_BY_CODE, OP_BY_NAME, OP_HELLO
+from repro.common.errors import ProtocolError
 
-MAX_FRAME_BYTES = 4 << 20
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "WIRE_ERRORS",
+    "FrameConn",
+    "SocketTransport",
+    "decode_body",
+    "encode_message",
+    "error_response",
+    "loopback_pair",
+    "raise_from_response",
+]
+
 _HEADER = struct.Struct(">I")
-
-#: Exception classes a server may report and a client can re-raise.
-#: Anything not listed arrives client-side as a plain ServerError whose
-#: ``kind`` preserves the original class name.
-WIRE_ERRORS: dict[str, type[Exception]] = {
-    name: cls
-    for name, cls in vars(_errors).items()
-    if isinstance(cls, type) and issubclass(cls, _errors.ReproError)
-}
 
 
 def encode_message(message: dict) -> bytes:
-    """Serialize ``message`` into one frame (header + JSON body)."""
+    """Serialize ``message`` into one v1 frame (header + JSON body)."""
     try:
         body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
@@ -56,28 +91,17 @@ def decode_body(body: bytes) -> dict:
 
 
 def error_response(exc: BaseException) -> dict:
-    kind = getattr(exc, "kind", None) or type(exc).__name__
-    return {"ok": False, "error": kind, "message": str(exc)}
+    """The ``{"ok": false, ...}`` response message for ``exc``.
+
+    Carries the structured ``args`` of :func:`error_payload`; the v1
+    JSON write path strips what JSON cannot represent.
+    """
+    return {"ok": False, **error_payload(exc)}
 
 
 def raise_from_response(response: dict) -> None:
     """Client side: re-raise the server-reported error, by kind."""
-    kind = response.get("error", "ServerError")
-    message = response.get("message", "")
-    cls = WIRE_ERRORS.get(kind)
-    if cls is None:
-        raise ServerError(message, kind=kind)
-    if issubclass(cls, ServerError):
-        raise cls(message, kind=kind)
-    try:
-        raise cls(message)
-    except TypeError:
-        # The class wants structured constructor args (DeadlockError
-        # takes a cycle) that don't cross the wire; rebuild it bare so
-        # callers can still dispatch on the type.
-        exc = cls.__new__(cls)
-        Exception.__init__(exc, message)
-        raise exc from None
+    raise_from_payload(response)
 
 
 class SocketTransport:
@@ -107,6 +131,18 @@ class SocketTransport:
             remaining -= len(chunk)
         return b"".join(chunks)
 
+    def recv_some(self, limit: int = 65536) -> bytes:
+        """One blocking read of up to ``limit`` bytes (b"" on EOF)."""
+        return self._sock.recv(limit)
+
+    def readable_now(self) -> bool:
+        """Would :meth:`recv_some` return without blocking?"""
+        try:
+            ready, _, _ = select.select([self._sock], [], [], 0)
+        except (ValueError, OSError):
+            return False  # closed under us; the next blocking read reports it
+        return bool(ready)
+
     def close(self) -> None:
         if self._closed:
             return
@@ -129,18 +165,234 @@ def loopback_pair() -> tuple[SocketTransport, SocketTransport]:
     return SocketTransport(server_sock), SocketTransport(client_sock)
 
 
+#: Message keys that are framing metadata, not op arguments.
+_META_KEYS = frozenset(("op", "corr_id"))
+
+
 class FrameConn:
-    """Frame-level reader/writer over a transport."""
+    """Message-level reader/writer over a transport, version-aware.
+
+    A server-side conn starts unnegotiated and sniffs the first 4 bytes
+    of the connection inside the first :meth:`read_message`.  A
+    client-side conn either calls :meth:`start_client_v2` (send the
+    preamble and hello eagerly; the ack is consumed before the first
+    response) or stays v1 by doing nothing.
+    """
 
     def __init__(self, transport: SocketTransport) -> None:
         self.transport = transport
+        self.version = PROTOCOL_V1
+        self._negotiated = False
+        #: v1 length header sniffed during server negotiation.
+        self._stash = b""
+        #: v2 receive buffer (frames parsed in place via memoryview).
+        self._buf = bytearray()
+        self._off = 0
+        #: Client side: hello ack not yet consumed.
+        self._awaiting_ack = False
+
+    # -- negotiation ---------------------------------------------------------
+
+    def start_client_v2(self, client: str = "repro-client") -> None:
+        """Open the connection as a v2 client: send the ``RPC2``
+        preamble and the hello frame now; consume the ack lazily just
+        before the first response read (one round trip saved)."""
+        self.version = PROTOCOL_V2
+        self._negotiated = True
+        self._awaiting_ack = True
+        hello = encode_frame(OP_HELLO.code, 0, hello_payload(client))
+        self.transport.send_bytes(MAGIC + hello)
+
+    def _negotiate_server(self) -> bool:
+        """Sniff the connection's first 4 bytes; False on clean EOF."""
+        self._negotiated = True
+        preamble = self.transport.recv_exactly(4)
+        if not preamble:
+            return False
+        if preamble != MAGIC:
+            # A v1 length header; stash it for the first v1 read.
+            self._stash = preamble
+            return True
+        self.version = PROTOCOL_V2
+        frame = self._read_frame()
+        if frame is None:
+            raise ProtocolError("connection closed before hello frame")
+        if frame.opcode != OP_HELLO.code or frame.is_response:
+            raise ProtocolError(
+                f"expected hello frame, got opcode {frame.opcode}"
+            )
+        versions = (
+            frame.payload.get("versions")
+            if isinstance(frame.payload, dict)
+            else None
+        )
+        if not isinstance(versions, list) or PROTOCOL_V2 not in versions:
+            raise ProtocolError(f"client offered no supported version: {versions!r}")
+        ack = encode_frame(
+            OP_HELLO.code,
+            frame.corr_id,
+            hello_ack_payload(),
+            flags=FLAG_RESPONSE,
+        )
+        self.transport.send_bytes(ack)
+        return True
+
+    def _consume_ack(self) -> None:
+        self._awaiting_ack = False
+        frame = self._read_frame()
+        if frame is None:
+            raise ProtocolError("connection closed before hello ack")
+        if frame.is_error:
+            raise_from_payload(frame.payload if isinstance(frame.payload, dict) else {})
+        if frame.opcode != OP_HELLO.code or not frame.is_response:
+            raise ProtocolError(
+                f"expected hello ack, got opcode {frame.opcode}"
+            )
+
+    # -- v2 frame buffer ------------------------------------------------------
+
+    def _read_frame(self, block: bool = True):
+        """Next complete frame; None on clean EOF (or, when ``block``
+        is false, when completing a frame would block)."""
+        while True:
+            parsed = try_parse_frame(self._buf, self._off)
+            if parsed is not None:
+                frame, self._off = parsed
+                if self._off >= len(self._buf):
+                    self._buf.clear()
+                    self._off = 0
+                return frame
+            if not block and not self.transport.readable_now():
+                return None
+            chunk = self.transport.recv_some()
+            if not chunk:
+                if self._off >= len(self._buf):
+                    return None
+                raise ProtocolError("connection closed mid-frame")
+            if self._off:
+                del self._buf[: self._off]
+                self._off = 0
+            self._buf += chunk
+
+    def _frame_to_request(self, frame) -> dict:
+        spec = OP_BY_CODE.get(frame.opcode)
+        if spec is None:
+            raise ProtocolError(f"unknown opcode {frame.opcode}")
+        message = dict(frame.payload) if isinstance(frame.payload, dict) else {}
+        message["op"] = spec.name
+        message["corr_id"] = frame.corr_id
+        return message
+
+    def _frame_to_response(self, frame) -> dict:
+        payload = frame.payload if isinstance(frame.payload, dict) else {}
+        if frame.is_error:
+            return {"ok": False, "corr_id": frame.corr_id, **payload}
+        return {
+            "ok": True,
+            "corr_id": frame.corr_id,
+            "result": payload.get("result"),
+        }
+
+    def _frame_to_message(self, frame) -> dict:
+        if frame.is_response:
+            return self._frame_to_response(frame)
+        return self._frame_to_request(frame)
+
+    # -- writing ---------------------------------------------------------------
+
+    def encode(self, message: dict) -> bytes:
+        """Serialize one message for this connection's version."""
+        if self.version != PROTOCOL_V2:
+            return encode_message(self._sanitize_v1(message))
+        op = message.get("op")
+        if op is not None:
+            spec = OP_BY_NAME.get(op)
+            if spec is None:
+                raise ProtocolError(f"unknown op {op!r}")
+            args = {k: v for k, v in message.items() if k not in _META_KEYS}
+            return encode_frame(spec.code, message.get("corr_id", 0), args)
+        corr_id = message.get("corr_id", 0)
+        flags = FLAG_RESPONSE
+        if message.get("ok"):
+            payload = {"result": message.get("result")}
+        else:
+            flags |= FLAG_ERROR
+            payload = {
+                k: v
+                for k, v in message.items()
+                if k not in ("ok", "corr_id")
+            }
+        return encode_frame(0, corr_id, payload, flags=flags)
+
+    @staticmethod
+    def _sanitize_v1(message: dict) -> dict:
+        """Project a message onto what v1 JSON can say: drop the
+        correlation id (v1 responses match by order) and any structured
+        error args JSON cannot represent."""
+        if "corr_id" not in message and "args" not in message:
+            return message
+        out = {k: v for k, v in message.items() if k != "corr_id"}
+        args = out.get("args")
+        if isinstance(args, dict) and any(
+            isinstance(v, (bytes, bytearray, memoryview)) for v in args.values()
+        ):
+            safe = {
+                k: v
+                for k, v in args.items()
+                if not isinstance(v, (bytes, bytearray, memoryview))
+            }
+            if safe:
+                out["args"] = safe
+            else:
+                del out["args"]
+        return out
 
     def write_message(self, message: dict) -> None:
-        self.transport.send_bytes(encode_message(message))
+        self.transport.send_bytes(self.encode(message))
+
+    def write_messages(self, messages: list[dict]) -> None:
+        """Send many messages in one write (batch responses, pipelined
+        requests)."""
+        if not messages:
+            return
+        self.transport.send_bytes(b"".join(self.encode(m) for m in messages))
+
+    # -- reading ---------------------------------------------------------------
 
     def read_message(self) -> dict | None:
         """Next message, or None on clean EOF."""
-        header = self.transport.recv_exactly(_HEADER.size)
+        if not self._negotiated and not self._negotiate_server():
+            return None
+        if self.version == PROTOCOL_V2:
+            if self._awaiting_ack:
+                self._consume_ack()
+            frame = self._read_frame()
+            return None if frame is None else self._frame_to_message(frame)
+        return self._read_v1()
+
+    def read_message_batch(self, limit: int) -> list[dict] | None:
+        """One blocking message plus every further message already
+        buffered or immediately readable, up to ``limit`` total; None
+        on clean EOF.  v1 connections always yield one message —
+        batching is a v2 feature."""
+        first = self.read_message()
+        if first is None:
+            return None
+        batch = [first]
+        if self.version != PROTOCOL_V2:
+            return batch
+        while len(batch) < limit:
+            frame = self._read_frame(block=False)
+            if frame is None:
+                break
+            batch.append(self._frame_to_message(frame))
+        return batch
+
+    def _read_v1(self) -> dict | None:
+        if self._stash:
+            header, self._stash = self._stash, b""
+        else:
+            header = self.transport.recv_exactly(_HEADER.size)
         if not header:
             return None
         (length,) = _HEADER.unpack(header)

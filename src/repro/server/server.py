@@ -69,6 +69,9 @@ class ServerConfig:
     checkpoint_on_shutdown: bool = True
     max_scan_rows: int = 1000
     """Hard cap on rows one scan response may carry."""
+    max_batch_requests: int = 64
+    """Most pipelined requests one connection read may drain into a
+    single executor job (one admission pass, commits coalesced)."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -81,6 +84,8 @@ class ServerConfig:
             raise ConfigError("admission_timeout_seconds must be >= 0")
         if self.max_scan_rows < 1:
             raise ConfigError("max_scan_rows must be at least 1")
+        if self.max_batch_requests < 1:
+            raise ConfigError("max_batch_requests must be at least 1")
 
 
 DEFAULT_SERVER_CONFIG = ServerConfig()
@@ -89,17 +94,33 @@ _STOP = object()  # worker sentinel
 
 
 class _Job:
-    """One request in flight through the executor pool."""
+    """One request — or one batch of pipelined requests — in flight
+    through the executor pool."""
 
-    __slots__ = ("session", "request", "done", "response", "timed_out", "lock")
+    __slots__ = ("session", "request", "batch", "done", "response", "timed_out", "lock")
 
-    def __init__(self, session: Session, request: dict) -> None:
+    def __init__(
+        self, session: Session, request, batch: bool = False
+    ) -> None:
         self.session = session
         self.request = request
+        self.batch = batch
         self.done = threading.Event()
-        self.response: dict | None = None
+        #: A response dict, or a list of them for a batch job.
+        self.response = None
         self.timed_out = False
         self.lock = threading.Lock()
+
+    def settle(self, exc: Exception) -> None:
+        """Resolve without execution (shutdown); callers hold ``lock``."""
+        if self.batch:
+            self.response = [
+                {**error_response(exc), "corr_id": r.get("corr_id", 0)}
+                for r in self.request
+            ]
+        else:
+            self.response = error_response(exc)
+        self.done.set()
 
 
 class DatabaseServer:
@@ -166,13 +187,13 @@ class DatabaseServer:
         host, port = self.address
         return DatabaseClient.connect(host, port, timeout=timeout)
 
-    def connect_loopback(self) -> DatabaseClient:
+    def connect_loopback(self, protocol: str | None = None) -> DatabaseClient:
         """New client over an in-process socketpair (no TCP stack)."""
         if self._stopping or not self._started:
             raise ServerShutdownError("server is not accepting sessions")
         server_end, client_end = loopback_pair()
         self._spawn_session(server_end)
-        return DatabaseClient(FrameConn(client_end))
+        return DatabaseClient(FrameConn(client_end), protocol=protocol)
 
     def _spawn_session(self, transport: SocketTransport) -> Session:
         session = Session(self, FrameConn(transport), next(self._session_ids))
@@ -210,21 +231,42 @@ class DatabaseServer:
         Returns the response message, or None when the request timed
         out (the session thread must stop reading — the worker still
         owns the op and cleans up)."""
+        return self._submit_job(_Job(session, request), 1)
+
+    def submit_batch(
+        self, session: Session, requests: list[dict]
+    ) -> list[dict] | None:
+        """Admit and execute a run of pipelined requests as one job.
+
+        The whole batch pays one admission-control pass and one queue
+        slot; the worker runs :meth:`Session.execute_batch`, which
+        coalesces the batch's commit forces into a single flush.
+        Returns the response list (request order), or None on timeout.
+        """
+        return self._submit_job(
+            _Job(session, requests, batch=True), len(requests)
+        )
+
+    def _submit_job(self, job: _Job, count: int):
         stats = self.db.stats
-        stats.incr("server.requests")
+        stats.incr("server.requests", count)
+        if count > 1:
+            stats.incr("server.batches")
+            stats.max_gauge("server.batch_peak", count)
         if self._stopping:
-            return error_response(ServerShutdownError("server is shutting down"))
-        job = _Job(session, request)
+            job.settle(ServerShutdownError("server is shutting down"))
+            return job.response
         try:
             self._queue.put(job, timeout=self.config.admission_timeout_seconds)
         except queue.Full:
-            stats.incr("server.rejected_overload")
-            return error_response(
+            stats.incr("server.rejected_overload", count)
+            job.settle(
                 ServerOverloadedError(
                     f"executor queue full ({self.config.queue_depth} deep) for "
                     f"{self.config.admission_timeout_seconds}s"
                 )
             )
+            return job.response
         stats.max_gauge("server.queue_peak", self._queue.qsize())
         if job.done.wait(self.config.request_timeout_seconds):
             return job.response
@@ -232,10 +274,10 @@ class DatabaseServer:
             if job.done.is_set():  # finished just as we gave up
                 return job.response
             job.timed_out = True
-            session.abandoned = True
+            job.session.abandoned = True
         stats.incr("server.request_timeouts")
         try:
-            session.conn.write_message(
+            job.session.conn.write_message(
                 error_response(
                     RequestTimeoutError(
                         f"request ran past {self.config.request_timeout_seconds}s; "
@@ -255,7 +297,10 @@ class DatabaseServer:
             with self._executing_lock:
                 self._executing += 1
             try:
-                response = job.session.execute(job.request)
+                if job.batch:
+                    response = job.session.execute_batch(job.request)
+                else:
+                    response = job.session.execute(job.request)
             finally:
                 with self._executing_lock:
                     self._executing -= 1
@@ -331,10 +376,9 @@ class DatabaseServer:
             except queue.Empty:
                 break
             with job.lock:
-                job.response = error_response(
+                job.settle(
                     ServerShutdownError("server shut down before execution")
                 )
-                job.done.set()
         for _ in self._workers:
             self._queue.put(_STOP)
         for worker in self._workers:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Callable
 
+from repro.codec.ops import OP_BY_NAME
 from repro.common.errors import (
     DeadlockError,
     KeyNotFoundError,
@@ -33,6 +34,7 @@ from repro.txn.transaction import Transaction
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.server.server import DatabaseServer
+    from repro.txn.manager import PendingCommit
 
 #: Statement errors that roll back to the statement savepoint but keep
 #: the surrounding transaction alive.
@@ -61,82 +63,100 @@ class Session:
         self.abandoned = False
         self._cleanup_done = False
         self._cleanup_lock = threading.Lock()
-        self._ops: dict[str, Callable[[dict], object]] = {
-            "ping": self._op_ping,
-            "begin": self._op_begin,
-            "begin_snapshot": self._op_begin_snapshot,
-            "commit": self._op_commit,
-            "rollback": self._op_rollback,
-            "savepoint": self._op_savepoint,
-            "rollback_to_savepoint": self._op_rollback_to_savepoint,
-            "insert": self._op_insert,
-            "fetch": self._op_fetch,
-            "fetch_prefix": self._op_fetch_prefix,
-            "delete": self._op_delete,
-            "scan": self._op_scan,
-            "create_table": self._op_create_table,
-            "create_index": self._op_create_index,
-            "stats": self._op_stats,
-            "close": self._op_close,
-            # Two-phase commit (this server as a shard/participant).
-            "prepare": self._op_prepare,
-            "decide": self._op_decide,
-            "cluster_indoubt": self._op_cluster_indoubt,
-        }
-        #: Replication ops run directly on the connection thread instead
-        #: of the bounded worker pool: a long-poll parked for the next
-        #: flush must not occupy (or be starved by) a worker slot.
-        #: ``status`` joins them so clients can watch a recovery drain
-        #: even when every worker slot is paying lazy-recovery costs.
-        self._direct_ops: dict[str, Callable[[dict], object]] = {
-            "repl_handshake": self._op_repl_handshake,
-            "repl_snapshot": self._op_repl_snapshot,
-            "repl_poll": self._op_repl_poll,
-            "repl_ack": self._op_repl_ack,
-            "repl_status": self._op_repl_status,
-            "status": self._op_status,
-        }
+        #: Commits deferred by the batch currently executing on this
+        #: session (None outside batch execution).  Requests within a
+        #: batch run sequentially, so plain lists suffice.
+        self._batch_pending: "list[PendingCommit] | None" = None
+
+    def _resolve(self, op: object) -> Callable[[dict], object] | None:
+        """The handler method for ``op`` per the shared registry
+        (:mod:`repro.codec.ops`) — the same table the client stubs and
+        the docs read.  None for unknown ops."""
+        spec = OP_BY_NAME.get(op) if isinstance(op, str) else None
+        if spec is None:
+            return None
+        return getattr(self, spec.handler, None)
 
     # -- connection thread -------------------------------------------------
 
     def serve(self) -> None:
-        """Read requests until EOF/close; one in-flight op at a time."""
+        """Read requests until EOF/close.
+
+        A pipelining client may have many frames in flight; each read
+        drains up to ``max_batch_requests`` of them and batchable ops
+        travel through the executor pool as one job (one admission pass,
+        commits coalesced into one group flush).  A lone request is the
+        degenerate batch of one — the non-pipelined path is unchanged.
+        """
         stats = self.server.db.stats
         stats.incr("server.sessions_opened")
+        max_batch = self.server.config.max_batch_requests
         try:
             while not self.closing:
                 try:
-                    request = self.conn.read_message()
+                    batch = self.conn.read_message_batch(max_batch)
                 except ProtocolError as exc:
                     try:
                         self.conn.write_message(error_response(exc))
                     except OSError:
                         pass
                     break
-                if request is None:  # client went away
+                if batch is None:  # client went away
                     break
-                if request.get("op") in self._direct_ops:
-                    response = self._execute_direct(request)
-                    try:
-                        self.conn.write_message(response)
-                    except OSError:
-                        break
-                    continue
-                response = self.server.submit(self, request)
-                if response is None:
-                    # Request timed out; the worker still owns the op and
-                    # will clean up when it finishes.  Drop the line now —
-                    # the reply stream is out of step with the requests.
+                if not self._serve_batch(batch):
+                    # A request timed out; the worker still owns the op
+                    # and will clean up when it finishes.  Drop the line
+                    # now — the reply stream is out of step.
                     return
-                try:
-                    self.conn.write_message(response)
-                except OSError:
-                    break
         except OSError:
             pass  # transport torn down under us (shutdown, crash harness)
         finally:
             if not self.abandoned:
                 self.cleanup()
+
+    def _serve_batch(self, batch: list[dict]) -> bool:
+        """Dispatch one read's worth of requests in arrival order.
+
+        Consecutive batchable ops form a run executed as one pool job;
+        direct ops (replication long-polls, status) run inline on this
+        thread between runs; non-batchable pool ops (close, unknown)
+        are submitted alone.  Returns False when a request timed out
+        and the connection must drop.
+        """
+        run: list[dict] = []
+        for request in batch:
+            spec = (
+                OP_BY_NAME.get(request.get("op"))
+                if isinstance(request.get("op"), str)
+                else None
+            )
+            if spec is not None and spec.batchable:
+                run.append(request)
+                continue
+            if not self._flush_run(run):
+                return False
+            if spec is not None and spec.direct:
+                self.conn.write_message(self._execute_direct(request))
+                continue
+            response = self.server.submit(self, request)
+            if response is None:
+                return False
+            self.conn.write_message(response)
+        return self._flush_run(run)
+
+    def _flush_run(self, run: list[dict]) -> bool:
+        if not run:
+            return True
+        if len(run) == 1:
+            response = self.server.submit(self, run[0])
+            responses = None if response is None else [response]
+        else:
+            responses = self.server.submit_batch(self, list(run))
+        run.clear()
+        if responses is None:
+            return False
+        self.conn.write_messages(responses)
+        return True
 
     def cleanup(self) -> None:
         """Roll back the open transaction and drop the connection.
@@ -160,27 +180,78 @@ class Session:
 
     def execute(self, request: dict) -> dict:
         """Run one request; always returns a response message."""
-        op = request.get("op")
-        handler = self._ops.get(op) if isinstance(op, str) else None
+        handler = self._resolve(request.get("op"))
         if handler is None:
-            return error_response(ProtocolError(f"unknown op {op!r}"))
+            response = error_response(
+                ProtocolError(f"unknown op {request.get('op')!r}")
+            )
+        else:
+            try:
+                response = {"ok": True, "result": handler(request)}
+            except _TXN_FATAL_ERRORS as exc:
+                self._abort_open_txn()
+                response = error_response(exc)
+                response["txn_aborted"] = True
+            except Exception as exc:  # noqa: BLE001,RPR005 - the wire needs *a* reply
+                response = error_response(exc)
+        response["corr_id"] = request.get("corr_id", 0)
+        return response
+
+    def execute_batch(self, requests: list[dict]) -> list[dict]:
+        """Run a batch of requests sequentially, coalescing commits.
+
+        While the batch runs, every commit (explicit or autocommit)
+        appends its COMMIT record but defers the log force; at the end
+        one coalesced force covers them all (group commit for pipelined
+        clients, even without a flusher thread).  Locks stay held until
+        each commit finishes, so isolation is untouched; a waiter
+        blocked on a deferred commit completes it early through the
+        lock manager's resolver hook.  Each response reports its own
+        commit's true outcome — a failed force patches the response
+        after the fact.
+        """
+        responses: list[dict] = []
+        placements: list[tuple[int, "PendingCommit"]] = []
+        self._batch_pending = []
         try:
-            return {"ok": True, "result": handler(request)}
-        except _TXN_FATAL_ERRORS as exc:
-            self._abort_open_txn()
-            response = error_response(exc)
-            response["txn_aborted"] = True
-            return response
-        except Exception as exc:  # noqa: BLE001,RPR005 - the wire needs *a* reply
-            return error_response(exc)
+            for request in requests:
+                response = self.execute(request)
+                for pending in self._batch_pending:
+                    placements.append((len(responses), pending))
+                self._batch_pending.clear()
+                responses.append(response)
+        finally:
+            self._batch_pending = None
+        if placements:
+            self.server.db.finish_deferred([p for _, p in placements])
+            for index, pending in placements:
+                if pending.error is not None:
+                    patched = error_response(pending.error)
+                    patched["corr_id"] = responses[index].get("corr_id", 0)
+                    responses[index] = patched
+        return responses
+
+    def _commit_txn(self, txn: Transaction) -> None:
+        """Commit now, or defer into the executing batch's group."""
+        db = self.server.db
+        if self._batch_pending is None:
+            db.commit(txn)
+            return
+        pending = db.commit_deferred(txn)
+        if pending is not None:
+            self._batch_pending.append(pending)
 
     def _execute_direct(self, request: dict) -> dict:
-        """Run a replication op inline (connection thread)."""
-        handler = self._direct_ops[request["op"]]
+        """Run a direct op inline (connection thread)."""
+        handler = self._resolve(request.get("op"))
         try:
-            return {"ok": True, "result": handler(request)}
+            if handler is None:
+                raise ProtocolError(f"unknown op {request.get('op')!r}")
+            response = {"ok": True, "result": handler(request)}
         except Exception as exc:  # noqa: BLE001,RPR005 - the wire needs *a* reply
-            return error_response(exc)
+            response = error_response(exc)
+        response["corr_id"] = request.get("corr_id", 0)
+        return response
 
     def _abort_open_txn(self) -> None:
         txn, self.txn = self.txn, None
@@ -194,6 +265,11 @@ class Session:
 
     def _op_ping(self, request: dict) -> str:
         return "pong"
+
+    def _op_hello(self, request: dict) -> dict:
+        """In-band hello (the connection-open handshake hello is
+        consumed by the protocol layer before it reaches dispatch)."""
+        return {"version": self.conn.version, "server": "repro"}
 
     def _op_begin(self, request: dict) -> int:
         if self.txn is not None:
@@ -218,7 +294,7 @@ class Session:
     def _op_commit(self, request: dict) -> int:
         txn = self._require_txn()
         self.txn = None
-        self.server.db.commit(txn)
+        self._commit_txn(txn)
         return txn.txn_id
 
     def _op_rollback(self, request: dict) -> int:
@@ -294,8 +370,16 @@ class Session:
         if snapshot:
             with db.snapshot() as txn:
                 return fn(txn)
-        with db.transaction() as txn:
-            return fn(txn)
+        txn = db.begin()
+        try:
+            result = fn(txn)
+        except BaseException:
+            if txn.is_active:
+                db.rollback(txn)
+            raise
+        if txn.is_active:
+            self._commit_txn(txn)
+        return result
 
     def _op_insert(self, request: dict) -> dict:
         table, row = request["table"], request["row"]

@@ -47,6 +47,56 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.locks.manager import LockManager
 
 
+class PendingCommit:
+    """A commit whose COMMIT record is appended but whose durability
+    force and phase 2 (lock release, END record, acknowledgement) are
+    deferred, so a server batch can pay one flush for many commits.
+
+    Locks stay held until :meth:`finish` — the strict read/ack contract
+    is untouched; only the flush is coalesced.  ``finish`` is
+    idempotent and thread-safe: the batch owner, or any lock waiter
+    blocked on this transaction (through the lock manager's
+    pending-commit resolver), may complete it; every caller observes
+    the one recorded outcome.
+    """
+
+    __slots__ = ("txn", "commit_lsn", "last_lsn", "error", "_mgr", "_lock", "_finished")
+
+    def __init__(
+        self, mgr: "TransactionManager", txn: Transaction, commit_lsn: int
+    ) -> None:
+        self._mgr = mgr
+        self.txn = txn
+        self.commit_lsn = commit_lsn
+        self.last_lsn = txn.last_lsn
+        self.error: Exception | None = None
+        self._lock = threading.Lock()
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def finish(self) -> Exception | None:
+        """Force the log through this COMMIT record and run phase 2.
+
+        Returns the failure (``CommitNotDurableError`` when a crash won
+        the race) or None; concurrent callers block until the first
+        finisher's outcome is recorded, then return it.
+        """
+        with self._lock:
+            if not self._finished:
+                try:
+                    self._mgr._log.force_for_commit(self.last_lsn)
+                    self._mgr._commit_finish(self)
+                except Exception as exc:  # noqa: BLE001,RPR005 - outcome stored, re-raised by the batch owner
+                    self.error = exc
+                finally:
+                    self._finished = True
+                    self._mgr._unregister_pending(self.txn.txn_id)
+        return self.error
+
+
 class TransactionManager:
     """Owns the transaction table and drives commit/rollback."""
 
@@ -65,6 +115,14 @@ class TransactionManager:
         self._next_txn_id = 1
         self._halted = False
         self._table: dict[int, Transaction] = {}
+        #: Deferred commits awaiting their batched force, by txn id.
+        self._pending_commits: dict[int, PendingCommit] = {}
+        self._pending_lock = threading.Lock()
+        # A waiter blocked on a pending commit's locks completes that
+        # commit itself instead of waiting out the batch (or, worse, a
+        # lock timeout).  Installed at construction so a post-restart
+        # manager owns the hook of the (surviving) lock manager.
+        locks.pending_commit_resolver = self.resolve_pending_commits
         #: Optional synchronous-replication gate, called with the commit
         #: record's LSN after the transaction is locally durable and
         #: fully ended.  Raising withholds the *acknowledgement* only —
@@ -191,24 +249,60 @@ class TransactionManager:
     # -- commit --------------------------------------------------------------------
 
     def commit(self, txn: Transaction) -> None:
-        if not txn.is_active:
-            raise TransactionNotActiveError(f"cannot commit {txn!r}")
-        self._check_owned(txn)
-        wrote_data = txn.first_lsn != NULL_LSN
-        commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id)
-        commit_lsn = self.log_for(txn, commit)
+        pending = self._commit_start(txn)
+        if pending is None:
+            return  # read-only: nothing was logged, nothing to force
         # The one synchronous log I/O of the normal path.  Under group
         # commit this parks until a batched flush covers the commit
         # record and may raise CommitNotDurableError if a crash wins the
         # race — in which case the transaction was never acknowledged
         # and restart rolls it back.
-        self._log.force_for_commit(txn.last_lsn)
+        self._log.force_for_commit(pending.last_lsn)
+        self._commit_finish(pending)
+
+    def _commit_start(self, txn: Transaction) -> "PendingCommit | None":
+        """Phase 1 of commit: validate and append the COMMIT record.
+
+        Read-only transactions complete entirely here and return None:
+        they logged nothing, so ARIES needs no COMMIT/END records and
+        no force for them — the common autocommit-read shape skips the
+        log altogether.  Otherwise the returned handle still holds its
+        locks and awaits :meth:`_commit_finish` after a force covering
+        ``last_lsn``.
+        """
+        if not txn.is_active:
+            raise TransactionNotActiveError(f"cannot commit {txn!r}")
+        self._check_owned(txn)
+        if txn.first_lsn == NULL_LSN:
+            if self._halted:
+                # Preserve the pre-fast-path contract: a commit racing a
+                # crash fails loudly even when it changed nothing.
+                raise LogHaltedError(
+                    f"transaction manager retired by a crash; txn "
+                    f"{txn.txn_id} may not commit through it"
+                )
+            txn.status = TxnStatus.COMMITTED
+            released = self._locks.release_all(txn.txn_id)
+            self._stats.incr("txn.locks_released_at_commit", released)
+            txn.status = TxnStatus.ENDED
+            self.forget(txn.txn_id)
+            self._stats.incr("txn.committed")
+            self._stats.incr("txn.readonly_commits")
+            return None
+        commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id)
+        commit_lsn = self.log_for(txn, commit)
+        return PendingCommit(self, txn, commit_lsn)
+
+    def _commit_finish(self, pending: "PendingCommit") -> None:
+        """Phase 2 of commit, after a force covers the COMMIT record."""
+        txn = pending.txn
+        commit_lsn = pending.commit_lsn
         if self._halted:
             # A crash landed while this commit was in flight and the
-            # force above may have run against the *resumed* log (the
-            # record itself died in the volatile tail).  Whether the
-            # COMMIT made it is unknowable from here — never
-            # acknowledge; restart decides, as for any in-doubt commit.
+            # force may have run against the *resumed* log (the record
+            # itself died in the volatile tail).  Whether the COMMIT
+            # made it is unknowable from here — never acknowledge;
+            # restart decides, as for any in-doubt commit.
             raise CommitNotDurableError(
                 f"txn {txn.txn_id}: crash raced the commit; outcome "
                 "decided by restart"
@@ -217,7 +311,7 @@ class TransactionManager:
         # Timestamp the commit (durable) before its locks drop: a
         # snapshot begun after the release must already see it.
         on_commit = self.on_commit
-        if on_commit is not None and wrote_data:
+        if on_commit is not None:
             on_commit(txn.txn_id, commit_lsn)
         released = self._locks.release_all(txn.txn_id)
         self._stats.incr("txn.locks_released_at_commit", released)
@@ -236,10 +330,67 @@ class TransactionManager:
         # Synchronous replication holds the *acknowledgement* (not the
         # commit — that is already durable and irreversible) until a
         # standby confirms durable receipt.  Read-only transactions
-        # changed nothing a failover could lose, so they skip the gate.
+        # changed nothing a failover could lose, so they skip the gate
+        # (they never reach here — see _commit_start).
         gate = self.commit_gate
-        if gate is not None and wrote_data:
+        if gate is not None:
             gate(commit_lsn)
+
+    # -- deferred (batched) commits ------------------------------------------
+    #
+    # Server-side batch execution coalesces the commits of one request
+    # batch into a single log force: each commit appends its COMMIT
+    # record immediately (locks held, nothing acknowledged) and parks as
+    # a PendingCommit; the batch owner finishes them all under one
+    # force.  A transaction blocked on a pending commit's locks need not
+    # wait for the batch to end — the lock manager's pending-commit
+    # resolver lets the *waiter* complete the pending commit (force +
+    # phase 2), which is exactly flush pipelining: the log write was
+    # already issued, the waiter just pays for (part of) the flush.
+
+    def commit_deferred(self, txn: Transaction) -> "PendingCommit | None":
+        """Append ``txn``'s COMMIT record but defer its durability
+        force and phase 2.  Returns None when the commit completed
+        outright (read-only fast path); otherwise the handle *must*
+        eventually be finished (see :meth:`finish_deferred`)."""
+        pending = self._commit_start(txn)
+        if pending is None:
+            return None
+        with self._pending_lock:
+            self._pending_commits[txn.txn_id] = pending
+        self._stats.incr("txn.deferred_commits")
+        return pending
+
+    def finish_deferred(self, pendings: "list[PendingCommit]") -> None:
+        """Complete a batch of deferred commits under one coalesced
+        force covering the newest COMMIT record.  Individual outcomes
+        (including failures) land on each handle's ``error``."""
+        live = [p for p in pendings if p is not None and not p.finished]
+        if not live:
+            return
+        try:
+            self._log.force_for_commit(max(p.last_lsn for p in live))
+        except CommitNotDurableError:  # noqa: RPR005 - each finish() re-forces and records its own outcome per handle
+            pass
+        for pending in live:
+            pending.finish()
+
+    def resolve_pending_commits(self, txn_ids: "list[int]") -> bool:
+        """Lock-manager hook: complete any pending deferred commits
+        among ``txn_ids`` (they hold locks the caller is blocked on).
+        Returns True if any commit was completed."""
+        completed = False
+        for txn_id in txn_ids:
+            with self._pending_lock:
+                pending = self._pending_commits.get(txn_id)
+            if pending is not None:
+                pending.finish()
+                completed = True
+        return completed
+
+    def _unregister_pending(self, txn_id: int) -> None:
+        with self._pending_lock:
+            self._pending_commits.pop(txn_id, None)
 
     # -- two-phase commit (presumed abort) --------------------------------------
 

@@ -116,6 +116,13 @@ class LogManager:
         #: :meth:`truncate_prefix`, *before* the discard; raising vetoes
         #: the truncation (nothing is lost).
         self._archiver = None
+        #: Simulated latency of one synchronous flush, in seconds (0
+        #: disables).  The in-memory log makes durability free, which
+        #: hides exactly the cost group commit exists to amortize; the
+        #: E20 benchmark prices it here.  Flushes serialize on their own
+        #: channel lock (one log device), never on ``_mutex``.
+        self.flush_latency_seconds = 0.0
+        self._io_lock = threading.Lock()
 
     # -- append / force ----------------------------------------------------
 
@@ -138,7 +145,9 @@ class LogManager:
                     record.page_id, NULL_LSN
                 )
                 self._page_chain[record.page_id] = lsn
-            self._buffer += record.to_bytes()
+            framed = record.to_bytes()
+            record.framed_size = len(framed)
+            self._buffer += framed
             self._records[lsn] = record
             self._append_count += 1
         self._stats.incr("log.records_written")
@@ -246,7 +255,10 @@ class LogManager:
             # The record may predate this process (recovered log);
             # forcing to at least ``lsn`` bytes is always safe.
             return min(lsn, self._truncated + len(self._buffer))
-        return lsn - 1 + len(record.to_bytes())
+        size = record.framed_size
+        if size is None:
+            size = len(record.to_bytes())
+        return lsn - 1 + size
 
     def _force_bytes(self, target: int) -> None:
         """Make the stream durable up to byte offset ``target``."""
@@ -258,6 +270,13 @@ class LogManager:
             else:
                 moved = False
         if moved:
+            latency = self.flush_latency_seconds
+            if latency > 0.0:
+                # Price the device write before acknowledging anyone:
+                # the caller (a committer or the group-commit flusher)
+                # returns — and acks — only after the simulated I/O.
+                with self._io_lock:
+                    time.sleep(latency)
             with self._flush_cond:
                 self._flush_cond.notify_all()
             self._stats.incr("log.sync_forces")

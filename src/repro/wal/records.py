@@ -97,6 +97,12 @@ class LogRecord:
     undo_next_lsn: int | None = None
     undoable: bool = True
     lsn: int = NULL_LSN
+    #: Size of this record's CRC frame in the log stream, recorded when
+    #: the record enters or leaves the byte stream (append / parse).
+    #: Lets the commit force path compute its byte target without
+    #: re-serializing the record.  Never set ahead of append — fields
+    #: are still mutable until then.
+    framed_size: int | None = field(default=None, compare=False, repr=False)
 
     # -- classification helpers -------------------------------------------
 
@@ -149,6 +155,7 @@ class LogRecord:
             undo_next_lsn=body["undo_next_lsn"],
             undoable=body["undoable"],
         )
+        record.framed_size = next_offset - offset
         return record, next_offset
 
     def __repr__(self) -> str:

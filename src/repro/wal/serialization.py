@@ -1,274 +1,33 @@
-"""Compact tagged binary codec for log records and pages.
+"""Compatibility shim: the tagged binary codec moved to
+:mod:`repro.codec.values`.
 
-Both the log and the simulated disk hold *bytes*, because crash
-semantics — which bytes survive — are the whole point of the recovery
-experiments.  This codec serializes the small set of value types that
-appear in log-record payloads and page images:
-
-``None``, ``bool``, ``int`` (64-bit signed), ``bytes``, ``str``,
-``list``/``tuple`` (decoded as ``list``), ``dict`` with ``str`` keys,
-:class:`~repro.common.rid.RID`, and
-:class:`~repro.common.rid.IndexKey`.
-
-The format is a one-byte type tag followed by a fixed or
-length-prefixed body.  It is deterministic, which lets tests compare
-serialized page images directly.
+The codec began life here, WAL-only; the wire protocol v2 now shares
+it, so it lives in the neutral :mod:`repro.codec` package.  Everything
+historically importable from this module keeps working — the WAL
+modules and a fair amount of test code import these names by this
+path.
 """
 
-from __future__ import annotations
+from repro.codec.values import (
+    RECORD_FRAME,
+    decode_dict_prefix,
+    decode_lock_table,
+    decode_value,
+    encode_lock_table,
+    encode_value,
+    encoded_size,
+    frame_record,
+    unframe_record,
+)
 
-import struct
-import zlib
-from typing import Any
-
-from repro.common.errors import CorruptLogError, TruncatedLogError, WALError
-from repro.common.rid import RID, IndexKey
-
-_TAG_NONE = b"N"
-_TAG_TRUE = b"T"
-_TAG_FALSE = b"F"
-_TAG_INT = b"I"
-_TAG_BYTES = b"B"
-_TAG_STR = b"S"
-_TAG_LIST = b"L"
-_TAG_DICT = b"D"
-_TAG_RID = b"R"
-_TAG_KEY = b"K"
-_TAG_FLOAT = b"G"
-
-_F64 = struct.Struct(">d")
-_I64 = struct.Struct(">q")
-_U32 = struct.Struct(">I")
-_RID_BODY = struct.Struct(">IH")
-
-
-def encode_value(value: Any) -> bytes:
-    """Serialize ``value`` into tagged bytes."""
-    out = bytearray()
-    _encode_into(out, value)
-    return bytes(out)
-
-
-def _encode_into(out: bytearray, value: Any) -> None:
-    if value is None:
-        out += _TAG_NONE
-    elif value is True:
-        out += _TAG_TRUE
-    elif value is False:
-        out += _TAG_FALSE
-    elif isinstance(value, int):
-        out += _TAG_INT
-        out += _I64.pack(value)
-    elif isinstance(value, float):
-        out += _TAG_FLOAT
-        out += _F64.pack(value)
-    elif isinstance(value, bytes):
-        out += _TAG_BYTES
-        out += _U32.pack(len(value))
-        out += value
-    elif isinstance(value, str):
-        raw = value.encode("utf-8")
-        out += _TAG_STR
-        out += _U32.pack(len(raw))
-        out += raw
-    elif isinstance(value, RID):
-        out += _TAG_RID
-        out += _RID_BODY.pack(value.page_id, value.slot)
-    elif isinstance(value, IndexKey):
-        out += _TAG_KEY
-        out += _RID_BODY.pack(value.rid.page_id, value.rid.slot)
-        out += _U32.pack(len(value.value))
-        out += value.value
-    elif isinstance(value, (list, tuple)):
-        out += _TAG_LIST
-        out += _U32.pack(len(value))
-        for item in value:
-            _encode_into(out, item)
-    elif isinstance(value, dict):
-        out += _TAG_DICT
-        out += _U32.pack(len(value))
-        for key in value:
-            if not isinstance(key, str):
-                raise WALError(f"dict keys must be str, got {type(key).__name__}")
-            raw = key.encode("utf-8")
-            out += _U32.pack(len(raw))
-            out += raw
-            _encode_into(out, value[key])
-    else:
-        raise WALError(f"cannot serialize value of type {type(value).__name__}")
-
-
-def decode_value(raw: bytes, offset: int = 0) -> tuple[Any, int]:
-    """Deserialize one value starting at ``offset``.
-
-    Returns ``(value, next_offset)``.  Malformed or truncated input
-    raises :class:`~repro.common.errors.WALError`.
-    """
-    try:
-        return _decode_value(raw, offset)
-    except WALError:
-        raise
-    except (struct.error, UnicodeDecodeError, IndexError, OverflowError) as exc:
-        raise WALError(f"malformed encoded value at offset {offset}: {exc}") from exc
-
-
-def _decode_value(raw: bytes, offset: int) -> tuple[Any, int]:
-    if offset >= len(raw):
-        raise WALError(f"truncated input: no tag at offset {offset}")
-    tag = raw[offset : offset + 1]
-    offset += 1
-    if tag == _TAG_NONE:
-        return None, offset
-    if tag == _TAG_TRUE:
-        return True, offset
-    if tag == _TAG_FALSE:
-        return False, offset
-    if tag == _TAG_INT:
-        (value,) = _I64.unpack_from(raw, offset)
-        return value, offset + _I64.size
-    if tag == _TAG_FLOAT:
-        (value,) = _F64.unpack_from(raw, offset)
-        return value, offset + _F64.size
-    if tag == _TAG_BYTES:
-        (length,) = _U32.unpack_from(raw, offset)
-        offset += _U32.size
-        _check_room(raw, offset, length)
-        return raw[offset : offset + length], offset + length
-    if tag == _TAG_STR:
-        (length,) = _U32.unpack_from(raw, offset)
-        offset += _U32.size
-        _check_room(raw, offset, length)
-        return raw[offset : offset + length].decode("utf-8"), offset + length
-    if tag == _TAG_RID:
-        page_id, slot = _RID_BODY.unpack_from(raw, offset)
-        return RID(page_id, slot), offset + _RID_BODY.size
-    if tag == _TAG_KEY:
-        page_id, slot = _RID_BODY.unpack_from(raw, offset)
-        offset += _RID_BODY.size
-        (length,) = _U32.unpack_from(raw, offset)
-        offset += _U32.size
-        _check_room(raw, offset, length)
-        value = raw[offset : offset + length]
-        return IndexKey(value, RID(page_id, slot)), offset + length
-    if tag == _TAG_LIST:
-        (count,) = _U32.unpack_from(raw, offset)
-        offset += _U32.size
-        items = []
-        for _ in range(count):
-            item, offset = decode_value(raw, offset)
-            items.append(item)
-        return items, offset
-    if tag == _TAG_DICT:
-        (count,) = _U32.unpack_from(raw, offset)
-        offset += _U32.size
-        mapping: dict[str, Any] = {}
-        for _ in range(count):
-            (key_len,) = _U32.unpack_from(raw, offset)
-            offset += _U32.size
-            _check_room(raw, offset, key_len)
-            key = raw[offset : offset + key_len].decode("utf-8")
-            offset += key_len
-            mapping[key], offset = decode_value(raw, offset)
-        return mapping, offset
-    raise WALError(f"unknown type tag {tag!r} at offset {offset - 1}")
-
-
-def _check_room(raw: bytes, offset: int, length: int) -> None:
-    if offset + length > len(raw):
-        raise WALError(
-            f"truncated input: need {length} bytes at offset {offset}, "
-            f"have {len(raw) - offset}"
-        )
-
-
-def encoded_size(value: Any) -> int:
-    """Size in bytes that ``value`` will occupy when encoded."""
-    return len(encode_value(value))
-
-
-# -- record framing ----------------------------------------------------------
-#
-# Every log record is written as ``[crc32(body) u32][len(body) u32][body]``.
-# The CRC lives *with* the record in the byte stream, so a torn log tail
-# (a record only partially persisted at crash time) is detectable when the
-# stream is re-read: the frame is either cut short (TruncatedLogError) or
-# its body no longer matches the CRC (CorruptLogError).
-
-RECORD_FRAME = struct.Struct(">II")
-"""``(crc32(body), len(body))`` header preceding every log-record body."""
-
-
-def frame_record(body: bytes) -> bytes:
-    """Wrap an encoded record body in its CRC frame."""
-    return RECORD_FRAME.pack(zlib.crc32(body), len(body)) + body
-
-
-def unframe_record(raw: bytes, offset: int = 0) -> tuple[bytes, int]:
-    """Validate and strip one record frame starting at ``offset``.
-
-    Returns ``(body, next_offset)``.  Raises
-    :class:`~repro.common.errors.TruncatedLogError` if the frame is cut
-    short and :class:`~repro.common.errors.CorruptLogError` if the body
-    fails its CRC — both are what a torn or damaged log tail looks like.
-    """
-    if offset + RECORD_FRAME.size > len(raw):
-        raise TruncatedLogError(
-            f"log frame header cut short at offset {offset}: "
-            f"need {RECORD_FRAME.size} bytes, have {len(raw) - offset}"
-        )
-    crc, length = RECORD_FRAME.unpack_from(raw, offset)
-    start = offset + RECORD_FRAME.size
-    end = start + length
-    if end > len(raw):
-        raise TruncatedLogError(
-            f"log record body cut short at offset {start}: "
-            f"need {length} bytes, have {len(raw) - start}"
-        )
-    body = raw[start:end]
-    if zlib.crc32(body) != crc:
-        raise CorruptLogError(f"log record at offset {offset} failed its CRC check")
-    return body, end
-
-
-# -- lock-table payloads (two-phase commit) ----------------------------------
-#
-# A PREPARE record carries the transaction's COMMIT-duration lock set so
-# a restarted shard can reacquire it before the database reopens.  Lock
-# names are flat tuples of codec-native leaves (str/int/bytes/RID); the
-# codec decodes tuples as lists, so the decode side restores the tuple
-# shape the lock manager hashes on.
-
-
-def encode_lock_table(locks: list[tuple[Any, str]]) -> list[list[Any]]:
-    """``[(lock_name_tuple, mode_value), ...]`` → payload-safe lists."""
-    return [[list(name), mode] for name, mode in locks]
-
-
-def decode_lock_table(payload: Any) -> list[tuple[tuple, str]]:
-    """Inverse of :func:`encode_lock_table` after a codec round-trip."""
-    return [(tuple(name), mode) for name, mode in payload or []]
-
-
-def decode_dict_prefix(body: bytes, stop_key: str) -> dict:
-    """Decode a serialized dict's leading entries, stopping *before*
-    the value of ``stop_key``.
-
-    Log-record bodies put the small fixed fields ahead of the payload
-    (see ``LogRecord.to_bytes``); scans that only need those fields can
-    skip decoding the payload entirely — which is most of the bytes of
-    a typical update record.
-    """
-    if body[:1] != _TAG_DICT:
-        raise WALError("expected a serialized dict")
-    (count,) = _U32.unpack_from(body, 1)
-    offset = 5
-    out: dict = {}
-    for _ in range(count):
-        (key_len,) = _U32.unpack_from(body, offset)
-        offset += 4
-        key = body[offset : offset + key_len].decode("utf-8")
-        offset += key_len
-        if key == stop_key:
-            break
-        out[key], offset = decode_value(body, offset)
-    return out
+__all__ = [
+    "RECORD_FRAME",
+    "decode_dict_prefix",
+    "decode_lock_table",
+    "decode_value",
+    "encode_lock_table",
+    "encode_value",
+    "encoded_size",
+    "frame_record",
+    "unframe_record",
+]

@@ -1,0 +1,120 @@
+"""Property-based round-trip and garbage-safety tests for the value
+codec (:mod:`repro.codec.values`).
+
+Two invariants: every encodable value decodes back to an equal value
+with the exact byte length consumed, and no byte string — however
+malformed — makes the decoder hang or leak a non-``WALError``
+exception.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.values import decode_value, encode_value, encoded_size
+from repro.common.errors import WALError
+from repro.common.rid import RID, IndexKey
+
+rids = st.builds(
+    RID,
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**16 - 1),
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=64),
+    st.binary(max_size=64),
+    rids,
+    st.builds(IndexKey, st.binary(max_size=32), rids),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=16), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+class TestRoundTrip:
+    @given(values)
+    @settings(max_examples=300, deadline=None)
+    def test_decode_inverts_encode(self, value):
+        raw = encode_value(value)
+        decoded, consumed = decode_value(raw)
+        assert decoded == value
+        assert consumed == len(raw)
+        assert type(decoded) is type(value)
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_encoded_size_matches(self, value):
+        assert encoded_size(value) == len(encode_value(value))
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_memoryview_decode_matches_bytes_decode(self, value):
+        raw = encode_value(value)
+        from_bytes = decode_value(raw)
+        from_view = decode_value(memoryview(raw))
+        assert from_view == from_bytes
+
+    @given(values, st.binary(min_size=1, max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_offset_decode_ignores_prefix(self, value, prefix):
+        raw = encode_value(value)
+        decoded, consumed = decode_value(prefix + raw, len(prefix))
+        assert decoded == value
+        assert consumed == len(prefix) + len(raw)
+
+
+class TestGarbageSafety:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=500, deadline=None)
+    def test_random_bytes_never_leak_non_walerror(self, raw):
+        try:
+            decoded, consumed = decode_value(raw)
+        except WALError:
+            return
+        assert 0 <= consumed <= len(raw)
+        # A successful decode must re-encode without error.
+        encode_value(decoded)
+
+    @given(values, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_truncation_raises_walerror(self, value, cut):
+        raw = encode_value(value)
+        if len(raw) <= 1 or cut >= len(raw):
+            return
+        truncated = raw[: len(raw) - cut]
+        try:
+            decoded, consumed = decode_value(truncated)
+        except WALError:
+            return
+        # Some truncations still parse (e.g. cutting trailing list
+        # items cannot happen — counts are explicit — but a value
+        # whose tail is another value's prefix can).  They must at
+        # least stay in bounds.
+        assert consumed <= len(truncated)
+
+    def test_unknown_tag(self):
+        with pytest.raises(WALError, match="unknown type tag"):
+            decode_value(b"\xff")
+
+    def test_empty_input(self):
+        with pytest.raises(WALError, match="truncated"):
+            decode_value(b"")
+
+    def test_lying_length_prefix(self):
+        # str frame claiming 1000 bytes with 3 present.
+        raw = b"S" + (1000).to_bytes(4, "big") + b"abc"
+        with pytest.raises(WALError, match="truncated"):
+            decode_value(raw)
